@@ -1,0 +1,127 @@
+package churnlb
+
+// bench_test.go holds one benchmark per table and figure of the paper's
+// evaluation: each benchmark runs the registered experiment that
+// regenerates the artifact (in quick mode, without file output), so
+// `go test -bench=.` both times the harness and re-derives every result.
+// cmd/reproduce renders the same experiments with full replication
+// counts and CSV artifacts.
+
+import (
+	"testing"
+
+	"churnlb/internal/exp"
+	"churnlb/internal/markov"
+	"churnlb/internal/mc"
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/sim"
+	"churnlb/internal/xrand"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := exp.Config{Seed: 1, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1ProcessingTimePDF regenerates the per-task service-time
+// pdfs and their exponential fits (paper Fig. 1).
+func BenchmarkFig1ProcessingTimePDF(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2TransferDelay regenerates the transfer-delay pdf and the
+// linear mean-delay-versus-load fit (paper Fig. 2).
+func BenchmarkFig2TransferDelay(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3GainSweep regenerates the completion-time-versus-gain
+// curves: theory, Monte-Carlo and the no-failure reference (paper Fig. 3).
+func BenchmarkFig3GainSweep(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4QueueTrace regenerates the queue sample paths under LBP-1
+// and LBP-2 (paper Fig. 4).
+func BenchmarkFig4QueueTrace(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5CDF regenerates the completion-time distribution functions
+// (paper Fig. 5) by integrating the eq.-5 ODE system.
+func BenchmarkFig5CDF(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkTable1LBP1Optimal regenerates Table 1: failure-aware optimal
+// gains and expected completion times for the five workloads.
+func BenchmarkTable1LBP1Optimal(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2LBP2MC regenerates Table 2: LBP-2 Monte-Carlo completion
+// times with no-failure-optimal initial gains.
+func BenchmarkTable2LBP2MC(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3DelaySweep regenerates Table 3: the LBP-1/LBP-2
+// crossover as the per-task transfer delay grows.
+func BenchmarkTable3DelaySweep(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkAblations times the LBP-2 design-choice ablations (extension).
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablate") }
+
+// --- micro-benchmarks of the load-bearing kernels ---
+
+// BenchmarkMeanSolverOptimize times the full discrete gain optimisation
+// for the Fig. 3 workload (hat-table reuse makes this O(m³)).
+func BenchmarkMeanSolverOptimize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ms, err := markov.NewMeanSolver(markov.PaperBaseline())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ms.OptimizeLBP1(100, 60)
+	}
+}
+
+// BenchmarkCDFSolver times one eq.-5 integration for the Fig. 5 workload.
+func BenchmarkCDFSolver(b *testing.B) {
+	cs, err := markov.NewCDFSolver(markov.PaperBaseline())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.CDFLBP1(50, 0, 0, 0.6, markov.BothUp, 200, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimRealization times one exact stochastic realisation of the
+// baseline scenario under LBP-2.
+func BenchmarkSimRealization(b *testing.B) {
+	p := model.PaperBaseline()
+	for i := 0; i < b.N; i++ {
+		rng := xrand.NewStream(1, uint64(i))
+		if _, err := sim.Run(sim.Options{Params: p, Policy: policy.LBP2{K: 1}, InitialLoad: []int{100, 60}, Rand: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarlo1000 times a 1000-replication parallel Monte-Carlo
+// estimate of the baseline scenario.
+func BenchmarkMonteCarlo1000(b *testing.B) {
+	p := model.PaperBaseline()
+	for i := 0; i < b.N; i++ {
+		_, err := mc.Run(mc.Options{Reps: 1000, Seed: uint64(i)}, func(r *xrand.Rand, rep int) (float64, error) {
+			out, err := sim.Run(sim.Options{Params: p, Policy: policy.LBP1{K: 0.35, Sender: 0}, InitialLoad: []int{100, 60}, Rand: r})
+			if err != nil {
+				return 0, err
+			}
+			return out.CompletionTime, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

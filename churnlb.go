@@ -1,0 +1,425 @@
+// Package churnlb reproduces "Load Balancing in the Presence of Random
+// Node Failure and Recovery" (Dhakal, Hayat, Pezoa, Abdallah, Birdwell,
+// Chiasson — IPDPS 2006) as a reusable Go library.
+//
+// A distributed system of computational elements processes a divisible
+// workload while nodes randomly fail and recover and load transfers incur
+// size-dependent random delays. The package exposes:
+//
+//   - the regenerative-process analysis of the two-node system: exact
+//     expected completion times (eq. 4) and full completion-time
+//     distributions (eq. 5);
+//   - the two load-balancing policies: preemptive LBP-1 (a single gain-K
+//     transfer at t = 0, with K optimised against failure statistics) and
+//     reactive LBP-2 (failure-agnostic initial balance plus compensating
+//     transfers at every failure instant);
+//   - an exact Monte-Carlo simulator of the same stochastic model for
+//     arbitrary node counts and policies;
+//   - a concurrent testbed that executes the paper's three-layer system
+//     architecture with goroutine CEs and (optionally) real UDP/TCP
+//     loopback communication.
+//
+// The spirit of the paper in one sentence: when transfer delays are small
+// relative to recovery times, react to failures (LBP-2); when they are
+// large, preempt them (LBP-1) — and under uncertainty, balance less
+// aggressively than you would in a reliable system.
+package churnlb
+
+import (
+	"fmt"
+	"time"
+
+	"churnlb/internal/cluster"
+	"churnlb/internal/markov"
+	"churnlb/internal/mc"
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/sim"
+	"churnlb/internal/xrand"
+)
+
+// Node describes one computational element. All rates are per second.
+type Node struct {
+	// ProcRate is the processing rate λd in tasks/second while up.
+	ProcRate float64
+	// FailRate is the failure rate λf while up (0 = never fails).
+	FailRate float64
+	// RecRate is the recovery rate λr while down.
+	RecRate float64
+}
+
+// System describes the distributed system.
+type System struct {
+	Nodes []Node
+	// DelayPerTask is the mean transfer delay per task δ in seconds; a
+	// bundle of L tasks arrives after an exponential delay of mean δ·L.
+	DelayPerTask float64
+}
+
+// PaperSystem returns the two-node system measured in the paper:
+// processing rates 1.08 and 1.86 tasks/s, mean failure time 20 s, mean
+// recovery times 10 s and 20 s, per-task delay 0.02 s.
+func PaperSystem() System {
+	return fromParams(model.PaperBaseline())
+}
+
+// NoFailure returns a copy with all failure rates zeroed.
+func (s System) NoFailure() System {
+	c := s.clone()
+	for i := range c.Nodes {
+		c.Nodes[i].FailRate = 0
+	}
+	return c
+}
+
+// WithDelay returns a copy with the per-task delay replaced.
+func (s System) WithDelay(delta float64) System {
+	c := s.clone()
+	c.DelayPerTask = delta
+	return c
+}
+
+func (s System) clone() System {
+	return System{Nodes: append([]Node(nil), s.Nodes...), DelayPerTask: s.DelayPerTask}
+}
+
+func fromParams(p model.Params) System {
+	s := System{DelayPerTask: p.DelayPerTask}
+	for i := 0; i < p.N(); i++ {
+		s.Nodes = append(s.Nodes, Node{ProcRate: p.ProcRate[i], FailRate: p.FailRate[i], RecRate: p.RecRate[i]})
+	}
+	return s
+}
+
+func (s System) params() (model.Params, error) {
+	p := model.Params{DelayPerTask: s.DelayPerTask}
+	for _, n := range s.Nodes {
+		p.ProcRate = append(p.ProcRate, n.ProcRate)
+		p.FailRate = append(p.FailRate, n.FailRate)
+		p.RecRate = append(p.RecRate, n.RecRate)
+	}
+	return p, p.Validate()
+}
+
+func (s System) markovParams() (markov.Params, error) {
+	p, err := s.params()
+	if err != nil {
+		return markov.Params{}, err
+	}
+	return markov.FromModel(p)
+}
+
+// PolicyKind selects a load-balancing policy.
+type PolicyKind int
+
+// Available policies.
+const (
+	// PolicyNone performs no balancing.
+	PolicyNone PolicyKind = iota
+	// PolicyLBP1 is the paper's preemptive policy (two nodes).
+	PolicyLBP1
+	// PolicyLBP2 is the paper's on-failure policy.
+	PolicyLBP2
+	// PolicyLBP1Multi is the documented N-node preemptive extension.
+	PolicyLBP1Multi
+	// PolicyDynamicLBP2 re-runs LBP-2's balance at every external
+	// arrival (the conclusion's dynamic extension).
+	PolicyDynamicLBP2
+)
+
+// PolicySpec configures a policy instance.
+type PolicySpec struct {
+	Kind PolicyKind
+	// K is the load-balancing gain in [0, 1].
+	K float64
+	// Sender fixes LBP-1's sending node; AutoSender picks the more
+	// loaded node.
+	Sender int
+}
+
+// AutoSender lets LBP-1 choose the sender by queue length.
+const AutoSender = policy.AutoSender
+
+func (ps PolicySpec) build() (policy.Policy, error) {
+	switch ps.Kind {
+	case PolicyNone:
+		return policy.NoBalance{}, nil
+	case PolicyLBP1:
+		return policy.LBP1{K: ps.K, Sender: ps.Sender}, nil
+	case PolicyLBP2:
+		return policy.LBP2{K: ps.K}, nil
+	case PolicyLBP1Multi:
+		return policy.LBP1Multi{K: ps.K}, nil
+	case PolicyDynamicLBP2:
+		return policy.Dynamic{Base: policy.LBP2{K: ps.K}}, nil
+	default:
+		return nil, fmt.Errorf("churnlb: unknown policy kind %d", ps.Kind)
+	}
+}
+
+// --- analytical API (two nodes) ---
+
+// LBP1Optimum is the result of the preemptive-gain optimisation.
+type LBP1Optimum struct {
+	// Sender is the optimal sending node (0 or 1).
+	Sender int
+	// K is the optimal gain; Tasks the corresponding transfer size.
+	K     float64
+	Tasks int
+	// Mean is the minimised expected overall completion time in seconds.
+	Mean float64
+}
+
+// OptimizeLBP1 computes the failure-aware optimal gain and sender for a
+// two-node workload — the quantity behind the paper's Table 1.
+func OptimizeLBP1(s System, load0, load1 int) (LBP1Optimum, error) {
+	mp, err := s.markovParams()
+	if err != nil {
+		return LBP1Optimum{}, err
+	}
+	ms, err := markov.NewMeanSolver(mp)
+	if err != nil {
+		return LBP1Optimum{}, err
+	}
+	opt := ms.OptimizeLBP1(load0, load1)
+	return LBP1Optimum{Sender: opt.Sender, K: opt.K, Tasks: opt.L, Mean: opt.Mean}, nil
+}
+
+// MeanCompletionLBP1 returns the expected overall completion time under
+// LBP-1 with an explicit gain and sender, both nodes initially up.
+func MeanCompletionLBP1(s System, load0, load1, sender int, k float64) (float64, error) {
+	mp, err := s.markovParams()
+	if err != nil {
+		return 0, err
+	}
+	ms, err := markov.NewMeanSolver(mp)
+	if err != nil {
+		return 0, err
+	}
+	if sender != 0 && sender != 1 {
+		return 0, fmt.Errorf("churnlb: sender must be 0 or 1, got %d", sender)
+	}
+	return ms.MeanLBP1(load0, load1, sender, k), nil
+}
+
+// GainSweepLBP1 evaluates the expected completion time across an evenly
+// spaced gain grid (the curve of Fig. 3).
+func GainSweepLBP1(s System, load0, load1, sender, steps int) (ks, means []float64, err error) {
+	mp, err := s.markovParams()
+	if err != nil {
+		return nil, nil, err
+	}
+	ms, err := markov.NewMeanSolver(mp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sender != 0 && sender != 1 {
+		return nil, nil, fmt.Errorf("churnlb: sender must be 0 or 1, got %d", sender)
+	}
+	ks, means = ms.GainSweep(load0, load1, sender, steps)
+	return ks, means, nil
+}
+
+// CompletionCDF computes the full completion-time distribution under
+// LBP-1 (Fig. 5): times[i] with F[i] = P{T ≤ times[i]}.
+func CompletionCDF(s System, load0, load1, sender int, k, tMax, dt float64) (times, f []float64, err error) {
+	mp, err := s.markovParams()
+	if err != nil {
+		return nil, nil, err
+	}
+	cs, err := markov.NewCDFSolver(mp)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := cs.CDFLBP1(load0, load1, sender, k, markov.BothUp, tMax, dt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Times(), r.F, nil
+}
+
+// LBP2InitialGain returns the gain the paper uses for LBP-2's initial
+// balance: optimised under the no-failure, delay-aware model against the
+// excess load of eq. (6).
+func LBP2InitialGain(s System, load0, load1 int) (float64, error) {
+	mp, err := s.markovParams()
+	if err != nil {
+		return 0, err
+	}
+	k, _, _, err := markov.LBP2InitialGain(mp, load0, load1)
+	return k, err
+}
+
+// --- simulation API (any node count) ---
+
+// TracePoint records the queue vector after a simulation event.
+type TracePoint struct {
+	Time   float64
+	Event  string
+	Node   int
+	Queues []int
+}
+
+// SimResult reports one simulated realisation.
+type SimResult struct {
+	CompletionTime                  float64
+	Processed                       []int
+	Failures, Recoveries            int
+	TransfersSent, TasksTransferred int
+	Trace                           []TracePoint
+}
+
+// SimOptions tunes Simulate beyond the defaults.
+type SimOptions struct {
+	// Trace records queue evolution (Fig. 4).
+	Trace bool
+	// ArrivalRate, ArrivalBatch, ArrivalHorizon inject external Poisson
+	// workload (dynamic extension); zero disables.
+	ArrivalRate    float64
+	ArrivalBatch   int
+	ArrivalHorizon float64
+}
+
+// Simulate runs one exact stochastic realisation of the churn model.
+func Simulate(s System, spec PolicySpec, load []int, seed uint64, opt SimOptions) (SimResult, error) {
+	p, err := s.params()
+	if err != nil {
+		return SimResult{}, err
+	}
+	pol, err := spec.build()
+	if err != nil {
+		return SimResult{}, err
+	}
+	out, err := sim.Run(sim.Options{
+		Params:         p,
+		Policy:         pol,
+		InitialLoad:    load,
+		Rand:           xrand.New(seed),
+		Trace:          opt.Trace,
+		ArrivalRate:    opt.ArrivalRate,
+		ArrivalBatch:   opt.ArrivalBatch,
+		ArrivalHorizon: opt.ArrivalHorizon,
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	res := SimResult{
+		CompletionTime:   out.CompletionTime,
+		Processed:        out.Processed,
+		Failures:         out.Failures,
+		Recoveries:       out.Recoveries,
+		TransfersSent:    out.TransfersSent,
+		TasksTransferred: out.TasksTransferred,
+	}
+	for _, tp := range out.Trace {
+		res.Trace = append(res.Trace, TracePoint{Time: tp.Time, Event: string(tp.Kind), Node: tp.Node, Queues: tp.Queues})
+	}
+	return res, nil
+}
+
+// Estimate summarises a Monte-Carlo study.
+type Estimate struct {
+	N         int
+	Mean, Std float64
+	CI95      float64
+	Min, Max  float64
+}
+
+// MonteCarlo estimates the expected completion time over reps independent
+// replications, parallelised across CPUs, deterministic for a given seed.
+func MonteCarlo(s System, spec PolicySpec, load []int, reps int, seed uint64) (Estimate, error) {
+	p, err := s.params()
+	if err != nil {
+		return Estimate{}, err
+	}
+	pol, err := spec.build()
+	if err != nil {
+		return Estimate{}, err
+	}
+	est, err := mc.Run(mc.Options{Reps: reps, Seed: seed}, func(r *xrand.Rand, rep int) (float64, error) {
+		out, err := sim.Run(sim.Options{Params: p, Policy: pol, InitialLoad: load, Rand: r})
+		if err != nil {
+			return 0, err
+		}
+		return out.CompletionTime, nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{N: est.N, Mean: est.Mean, Std: est.Std, CI95: est.CI95, Min: est.Min, Max: est.Max}, nil
+}
+
+// --- testbed API ---
+
+// TestbedOptions tunes the concurrent testbed.
+type TestbedOptions struct {
+	// TimeScale is virtual seconds per wall second (default 500).
+	TimeScale float64
+	// UseSockets routes communication over real loopback UDP/TCP.
+	UseSockets bool
+	// RealCompute executes the matrix arithmetic for every task.
+	RealCompute bool
+	// Trace records queue evolution.
+	Trace bool
+	// MaxWall bounds the wall-clock duration (default 2 min).
+	MaxWall time.Duration
+}
+
+// TestbedResult reports a concurrent testbed run.
+type TestbedResult struct {
+	CompletionTime                  float64
+	Processed                       []int
+	Failures, Recoveries            int
+	TransfersSent, TasksTransferred int
+	StatePackets                    int
+	Trace                           []TracePoint
+}
+
+// RunTestbed executes the Section-3 architecture: one goroutine set per
+// CE (application, communication, LB/failure and backup roles), with
+// state exchange and task transfer over the selected transport.
+func RunTestbed(s System, spec PolicySpec, load []int, seed uint64, opt TestbedOptions) (TestbedResult, error) {
+	p, err := s.params()
+	if err != nil {
+		return TestbedResult{}, err
+	}
+	pol, err := spec.build()
+	if err != nil {
+		return TestbedResult{}, err
+	}
+	cfg := cluster.Config{
+		Params:      p,
+		Policy:      pol,
+		InitialLoad: load,
+		TimeScale:   opt.TimeScale,
+		Seed:        seed,
+		RealCompute: opt.RealCompute,
+		Trace:       opt.Trace,
+		MaxWall:     opt.MaxWall,
+	}
+	if opt.UseSockets {
+		tr, err := cluster.NewNetTransport(p.N())
+		if err != nil {
+			return TestbedResult{}, err
+		}
+		defer tr.Close()
+		cfg.Transport = tr
+	}
+	out, err := cluster.Run(cfg)
+	if err != nil {
+		return TestbedResult{}, err
+	}
+	res := TestbedResult{
+		CompletionTime:   out.CompletionTime,
+		Processed:        out.Processed,
+		Failures:         out.Failures,
+		Recoveries:       out.Recoveries,
+		TransfersSent:    out.TransfersSent,
+		TasksTransferred: out.TasksTransferred,
+		StatePackets:     out.StatePackets,
+	}
+	for _, tp := range out.Trace {
+		res.Trace = append(res.Trace, TracePoint{Time: tp.Time, Event: string(tp.Kind), Node: tp.Node, Queues: tp.Queues})
+	}
+	return res, nil
+}

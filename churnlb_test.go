@@ -1,0 +1,166 @@
+package churnlb
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPaperSystemShape(t *testing.T) {
+	s := PaperSystem()
+	if len(s.Nodes) != 2 {
+		t.Fatalf("nodes %d", len(s.Nodes))
+	}
+	if s.Nodes[0].ProcRate != 1.08 || s.Nodes[1].ProcRate != 1.86 {
+		t.Fatalf("rates %+v", s.Nodes)
+	}
+	if s.DelayPerTask != 0.02 {
+		t.Fatalf("delay %v", s.DelayPerTask)
+	}
+}
+
+func TestOptimizeLBP1Facade(t *testing.T) {
+	opt, err := OptimizeLBP1(PaperSystem(), 100, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Sender != 0 || math.Abs(opt.K-0.35) > 0.05 || math.Abs(opt.Mean-117) > 3 {
+		t.Fatalf("optimum %+v, want sender 0, K≈0.35, mean≈117", opt)
+	}
+	// No-failure optimum uses a bigger gain.
+	optNF, err := OptimizeLBP1(PaperSystem().NoFailure(), 100, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optNF.K <= opt.K {
+		t.Fatalf("no-failure K %v must exceed failure K %v", optNF.K, opt.K)
+	}
+}
+
+func TestMeanCompletionLBP1Facade(t *testing.T) {
+	mean, err := MeanCompletionLBP1(PaperSystem(), 100, 60, 0, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-116.75) > 0.5 {
+		t.Fatalf("mean %v, want ≈116.75", mean)
+	}
+	if _, err := MeanCompletionLBP1(PaperSystem(), 100, 60, 9, 0.35); err == nil {
+		t.Fatal("invalid sender accepted")
+	}
+}
+
+func TestGainSweepFacade(t *testing.T) {
+	ks, means, err := GainSweepLBP1(PaperSystem(), 100, 60, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 11 || len(means) != 11 {
+		t.Fatalf("sweep sizes %d/%d", len(ks), len(means))
+	}
+}
+
+func TestCompletionCDFFacade(t *testing.T) {
+	times, f, err := CompletionCDF(PaperSystem(), 50, 0, 0, 0.6, 200, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != len(f) || len(f) == 0 {
+		t.Fatalf("CDF sizes %d/%d", len(times), len(f))
+	}
+	if f[len(f)-1] < 0.99 {
+		t.Fatalf("CDF does not approach 1: %v", f[len(f)-1])
+	}
+}
+
+func TestLBP2InitialGainFacade(t *testing.T) {
+	k, err := LBP2InitialGain(PaperSystem(), 100, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 0.8 || k > 1 {
+		t.Fatalf("LBP-2 gain %v, expected near 1 at small delay", k)
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	res, err := Simulate(PaperSystem(), PolicySpec{Kind: PolicyLBP2, K: 1}, []int{100, 60}, 42, SimOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed[0]+res.Processed[1] != 160 {
+		t.Fatalf("conservation: %v", res.Processed)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace missing")
+	}
+}
+
+func TestSimulateInvalidPolicy(t *testing.T) {
+	if _, err := Simulate(PaperSystem(), PolicySpec{Kind: PolicyKind(99)}, []int{1, 1}, 1, SimOptions{}); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+}
+
+func TestMonteCarloFacadeMatchesTheory(t *testing.T) {
+	est, err := MonteCarlo(PaperSystem(), PolicySpec{Kind: PolicyLBP1, K: 0.35, Sender: 0}, []int{100, 60}, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-116.75) > 4*est.CI95 {
+		t.Fatalf("MC mean %v ±%v vs theory 116.75", est.Mean, est.CI95)
+	}
+}
+
+func TestMultiNodeSimulateFacade(t *testing.T) {
+	s := System{
+		Nodes: []Node{
+			{ProcRate: 2.0, RecRate: 1},
+			{ProcRate: 1.0, FailRate: 0.05, RecRate: 0.1},
+			{ProcRate: 1.5, FailRate: 0.05, RecRate: 0.1},
+		},
+		DelayPerTask: 0.02,
+	}
+	res, err := Simulate(s, PolicySpec{Kind: PolicyLBP1Multi, K: 1}, []int{90, 0, 0}, 5, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.Processed {
+		total += p
+	}
+	if total != 90 {
+		t.Fatalf("conservation: %v", res.Processed)
+	}
+	if res.TasksTransferred == 0 {
+		t.Fatal("multi-node policy moved nothing")
+	}
+}
+
+func TestRunTestbedFacade(t *testing.T) {
+	res, err := RunTestbed(PaperSystem(), PolicySpec{Kind: PolicyLBP2, K: 1}, []int{40, 20}, 3,
+		TestbedOptions{TimeScale: 4000, MaxWall: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed[0]+res.Processed[1] != 60 {
+		t.Fatalf("conservation: %v", res.Processed)
+	}
+}
+
+func TestSystemValidationSurfacing(t *testing.T) {
+	bad := System{Nodes: []Node{{ProcRate: -1}}}
+	if _, err := OptimizeLBP1(bad, 1, 1); err == nil {
+		t.Fatal("invalid system accepted by OptimizeLBP1")
+	}
+	if _, err := Simulate(bad, PolicySpec{}, []int{1}, 1, SimOptions{}); err == nil {
+		t.Fatal("invalid system accepted by Simulate")
+	}
+	three := System{Nodes: make([]Node, 3), DelayPerTask: 0.02}
+	for i := range three.Nodes {
+		three.Nodes[i] = Node{ProcRate: 1}
+	}
+	if _, err := OptimizeLBP1(three, 1, 1); err == nil {
+		t.Fatal("3-node system accepted by 2-node analytical API")
+	}
+}

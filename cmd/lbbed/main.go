@@ -1,0 +1,73 @@
+// Command lbbed runs the concurrent goroutine testbed — the paper's
+// Section-3 distributed system at laptop scale, optionally over real
+// loopback UDP/TCP sockets.
+//
+// Examples:
+//
+//	lbbed -m0 100 -m1 60 -policy lbp1 -k 0.35 -scale 1000
+//	lbbed -m0 100 -m1 60 -policy lbp2 -net -real
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"churnlb"
+)
+
+func main() {
+	var (
+		m0     = flag.Int("m0", 100, "initial tasks at node 0")
+		m1     = flag.Int("m1", 60, "initial tasks at node 1")
+		polStr = flag.String("policy", "lbp2", "policy: lbp1, lbp2, none")
+		k      = flag.Float64("k", 1.0, "LB gain")
+		sender = flag.Int("sender", 0, "LBP-1 sender")
+		scale  = flag.Float64("scale", 1000, "virtual seconds per wall second")
+		useNet = flag.Bool("net", false, "use real loopback UDP/TCP sockets")
+		real   = flag.Bool("real", false, "execute the matrix arithmetic for every task")
+		trace  = flag.Bool("trace", false, "print the queue-evolution trace")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var spec churnlb.PolicySpec
+	switch *polStr {
+	case "lbp1":
+		spec = churnlb.PolicySpec{Kind: churnlb.PolicyLBP1, K: *k, Sender: *sender}
+	case "lbp2":
+		spec = churnlb.PolicySpec{Kind: churnlb.PolicyLBP2, K: *k}
+	case "none":
+		spec = churnlb.PolicySpec{Kind: churnlb.PolicyNone}
+	default:
+		fmt.Fprintf(os.Stderr, "lbbed: unknown policy %q\n", *polStr)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	res, err := churnlb.RunTestbed(churnlb.PaperSystem(), spec, []int{*m0, *m1}, *seed, churnlb.TestbedOptions{
+		TimeScale:   *scale,
+		UseSockets:  *useNet,
+		RealCompute: *real,
+		Trace:       *trace,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbbed:", err)
+		os.Exit(1)
+	}
+	transport := "channels"
+	if *useNet {
+		transport = "loopback UDP/TCP"
+	}
+	fmt.Printf("testbed (%s, scale %.0fx): completion %.2f virtual s in %.2f wall s\n",
+		transport, *scale, res.CompletionTime, time.Since(start).Seconds())
+	fmt.Printf("processed %v, failures %d, recoveries %d, transfers %d (%d tasks), state packets %d\n",
+		res.Processed, res.Failures, res.Recoveries, res.TransfersSent, res.TasksTransferred, res.StatePackets)
+	if *trace {
+		fmt.Println("t_s,event,node,queues")
+		for _, tp := range res.Trace {
+			fmt.Printf("%.3f,%s,%d,%v\n", tp.Time, tp.Event, tp.Node, tp.Queues)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command lbsim runs Monte-Carlo studies of the churn model for the
+// paper's policies.
+//
+// Examples:
+//
+//	lbsim -m0 100 -m1 60 -policy lbp1 -k 0.35 -reps 5000
+//	lbsim -m0 100 -m1 60 -policy lbp2 -k 1 -delta 3 -reps 5000
+//	lbsim -m0 100 -m1 60 -policy none -trace   # one traced realisation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"churnlb"
+)
+
+func main() {
+	var (
+		m0     = flag.Int("m0", 100, "initial tasks at node 0")
+		m1     = flag.Int("m1", 60, "initial tasks at node 1")
+		polStr = flag.String("policy", "lbp2", "policy: lbp1, lbp2, none, dynamic")
+		k      = flag.Float64("k", 1.0, "LB gain")
+		sender = flag.Int("sender", churnlb.AutoSender, "LBP-1 sender (-1 = auto)")
+		delta  = flag.Float64("delta", 0.02, "mean transfer delay per task (s)")
+		noFail = flag.Bool("nofail", false, "zero the failure rates")
+		reps   = flag.Int("reps", 5000, "Monte-Carlo replications")
+		seed   = flag.Uint64("seed", 1, "root seed")
+		trace  = flag.Bool("trace", false, "run a single traced realisation instead")
+	)
+	flag.Parse()
+
+	sys := churnlb.PaperSystem().WithDelay(*delta)
+	if *noFail {
+		sys = sys.NoFailure()
+	}
+	var spec churnlb.PolicySpec
+	switch *polStr {
+	case "lbp1":
+		spec = churnlb.PolicySpec{Kind: churnlb.PolicyLBP1, K: *k, Sender: *sender}
+	case "lbp2":
+		spec = churnlb.PolicySpec{Kind: churnlb.PolicyLBP2, K: *k}
+	case "none":
+		spec = churnlb.PolicySpec{Kind: churnlb.PolicyNone}
+	case "dynamic":
+		spec = churnlb.PolicySpec{Kind: churnlb.PolicyDynamicLBP2, K: *k}
+	default:
+		fmt.Fprintf(os.Stderr, "lbsim: unknown policy %q\n", *polStr)
+		os.Exit(2)
+	}
+	load := []int{*m0, *m1}
+
+	if *trace {
+		res, err := churnlb.Simulate(sys, spec, load, *seed, churnlb.SimOptions{Trace: true})
+		die(err)
+		fmt.Printf("completion %.2f s, processed %v, failures %d, transfers %d (%d tasks)\n",
+			res.CompletionTime, res.Processed, res.Failures, res.TransfersSent, res.TasksTransferred)
+		fmt.Println("t_s,event,node,queues")
+		for _, tp := range res.Trace {
+			fmt.Printf("%.3f,%s,%d,%v\n", tp.Time, tp.Event, tp.Node, tp.Queues)
+		}
+		return
+	}
+	est, err := churnlb.MonteCarlo(sys, spec, load, *reps, *seed)
+	die(err)
+	fmt.Printf("policy %s K=%.2f workload (%d,%d) δ=%.2fs: mean %.2f s ±%.2f (95%% CI, n=%d, σ=%.2f)\n",
+		*polStr, *k, *m0, *m1, *delta, est.Mean, est.CI95, est.N, est.Std)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation section, printing paper-versus-measured comparisons and
+// writing CSV artifacts.
+//
+// Usage:
+//
+//	reproduce                    # all experiments, full replication counts
+//	reproduce -quick             # fast smoke pass
+//	reproduce -only fig3,table3  # a subset
+//	reproduce -testbed           # include concurrent-testbed columns
+//	reproduce -list              # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"churnlb/internal/exp"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		out     = flag.String("out", "results", "directory for CSV artifacts ('' disables)")
+		quick   = flag.Bool("quick", false, "reduced replication counts")
+		testbed = flag.Bool("testbed", false, "include concurrent-testbed columns (slow, wall-clock bound)")
+		seed    = flag.Uint64("seed", 2006, "root random seed")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := exp.Config{
+		Seed:     *seed,
+		OutDir:   *out,
+		Quick:    *quick,
+		Testbed:  *testbed,
+		Progress: os.Stderr,
+	}
+
+	var selected []exp.Experiment
+	if *only == "" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := exp.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		fmt.Fprintf(os.Stderr, "running %s...\n", e.ID)
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: render: %v\n", e.ID, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,583 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/workload"
+	"churnlb/internal/xrand"
+)
+
+// Config describes a testbed run.
+type Config struct {
+	// Params are the stochastic rates, in virtual seconds.
+	Params model.Params
+	// Policy is the load-balancing policy (nil = no balancing).
+	Policy policy.Policy
+	// InitialLoad is the number of tasks queued per node at t = 0.
+	InitialLoad []int
+	// TimeScale is the number of virtual seconds per wall-clock second;
+	// e.g. 500 replays the paper's ~117 s experiment in ~0.23 s. Default
+	// 500.
+	TimeScale float64
+	// Seed drives every random stream in the run.
+	Seed uint64
+	// Transport carries inter-node traffic; nil selects the in-process
+	// channel transport. The run closes the transport it creates, never
+	// one supplied by the caller.
+	Transport Transport
+	// RealCompute executes the matrix multiplication for every task and
+	// derives processing time from the task's exponential precision
+	// (instead of sampling a service time directly).
+	RealCompute bool
+	// MatrixDim and MeanPrecision configure the application workload.
+	// Defaults: 32 and 50.
+	MatrixDim     int
+	MeanPrecision float64
+	// StateInterval is the virtual-seconds period of the UDP-style state
+	// broadcast. Default 1 s.
+	StateInterval float64
+	// Trace records queue-evolution trace points (Fig. 4).
+	Trace bool
+	// MaxWall aborts a wedged run. Default 2 minutes.
+	MaxWall time.Duration
+}
+
+// Result reports a completed testbed run.
+type Result struct {
+	// CompletionTime is the overall completion time in virtual seconds.
+	CompletionTime float64
+	// Processed counts tasks executed per node; ProcessedIDs lists the
+	// task IDs each node executed (for conservation checking).
+	Processed    []int
+	ProcessedIDs [][]uint64
+	// Failures and Recoveries count churn events observed.
+	Failures, Recoveries int
+	// TransfersSent and TasksTransferred count balancing activity.
+	TransfersSent, TasksTransferred int
+	// StatePackets counts state datagrams received across all nodes.
+	StatePackets int
+	// Trace is non-nil when Config.Trace was set.
+	Trace []model.TracePoint
+}
+
+type peerInfo struct {
+	queueLen uint32
+	up       bool
+	seq      uint32
+}
+
+type node struct {
+	id        int
+	mu        sync.Mutex
+	queue     []workload.Task
+	up        bool
+	processed []uint64
+	peers     []peerInfo
+	kick      chan struct{}
+	failInt   chan struct{}
+	seq       uint32
+	rngApp    *xrand.Rand
+	rngChurn  *xrand.Rand
+	rngLB     *xrand.Rand
+}
+
+type clusterRun struct {
+	cfg       Config
+	p         model.Params
+	nodes     []*node
+	transport Transport
+	ownsTrans bool
+	matrix    *workload.Matrix
+	start     time.Time
+
+	total          int64
+	processedTotal int64
+	inFlight       int64
+	failures       int64
+	recoveries     int64
+	transfersSent  int64
+	tasksMoved     int64
+	statePackets   int64
+
+	stop     chan struct{}
+	doneCh   chan struct{}
+	doneOnce sync.Once
+	doneAtV  float64
+
+	traceMu sync.Mutex
+	trace   []model.TracePoint
+
+	wg sync.WaitGroup
+}
+
+// Run executes one testbed experiment and blocks until the workload
+// completes (or MaxWall expires, which is an error).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Params.N()
+	if len(cfg.InitialLoad) != n {
+		return nil, fmt.Errorf("cluster: InitialLoad has %d entries for %d nodes", len(cfg.InitialLoad), n)
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 500
+	}
+	if cfg.MatrixDim <= 0 {
+		cfg.MatrixDim = 32
+	}
+	if cfg.MeanPrecision <= 0 {
+		cfg.MeanPrecision = 50
+	}
+	if cfg.StateInterval <= 0 {
+		cfg.StateInterval = 1
+	}
+	if cfg.MaxWall <= 0 {
+		cfg.MaxWall = 2 * time.Minute
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = policy.NoBalance{}
+	}
+
+	c := &clusterRun{
+		cfg:    cfg,
+		p:      cfg.Params,
+		stop:   make(chan struct{}),
+		doneCh: make(chan struct{}),
+		matrix: workload.NewMatrix(cfg.MatrixDim, cfg.Seed^0x9e37),
+	}
+	c.transport = cfg.Transport
+	if c.transport == nil {
+		c.transport = NewChanTransport(n)
+		c.ownsTrans = true
+	}
+
+	// Build nodes and deal out the initial workload.
+	gen := workload.NewGenerator(cfg.MatrixDim, cfg.MeanPrecision, xrand.NewStream(cfg.Seed, 0xFEED))
+	for id := 0; id < n; id++ {
+		nd := &node{
+			id:       id,
+			up:       true,
+			kick:     make(chan struct{}, 1),
+			failInt:  make(chan struct{}, 1),
+			peers:    make([]peerInfo, n),
+			rngApp:   xrand.NewStream(cfg.Seed, uint64(3*id+1)),
+			rngChurn: xrand.NewStream(cfg.Seed, uint64(3*id+2)),
+			rngLB:    xrand.NewStream(cfg.Seed, uint64(3*id+3)),
+		}
+		nd.queue = gen.Batch(cfg.InitialLoad[id])
+		for peer := 0; peer < n; peer++ {
+			// The paper assumes every node knows the initial queue sizes.
+			nd.peers[peer] = peerInfo{queueLen: uint32(cfg.InitialLoad[peer]), up: true}
+		}
+		c.total += int64(cfg.InitialLoad[id])
+		c.nodes = append(c.nodes, nd)
+	}
+	c.start = time.Now()
+	c.traceEvent(model.EvStart, -1)
+
+	// Load-balancing layer, t = 0: every node executes its share of the
+	// initial policy action against the known initial distribution.
+	initState := model.State{
+		Queues: append([]int(nil), cfg.InitialLoad...),
+		Up:     make([]bool, n),
+	}
+	for i := range initState.Up {
+		initState.Up[i] = true
+	}
+	initTransfers := cfg.Policy.Initial(initState, c.p)
+	for _, nd := range c.nodes {
+		c.execTransfers(nd, initTransfers)
+	}
+
+	// Launch the three layers of every CE.
+	for _, nd := range c.nodes {
+		c.wg.Add(4)
+		go c.appLoop(nd)
+		go c.churnLoop(nd)
+		go c.taskRecvLoop(nd)
+		go c.stateLoop(nd)
+	}
+
+	if c.total == 0 {
+		c.finish()
+	}
+	var err error
+	select {
+	case <-c.doneCh:
+	case <-time.After(cfg.MaxWall):
+		err = fmt.Errorf("cluster: run exceeded MaxWall=%v with %d/%d tasks done",
+			cfg.MaxWall, atomic.LoadInt64(&c.processedTotal), c.total)
+	}
+	close(c.stop)
+	for _, nd := range c.nodes {
+		kickChan(nd.kick)
+	}
+	if c.ownsTrans {
+		c.transport.Close()
+	}
+	c.wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	c.traceEvent(model.EvDone, -1)
+
+	res := &Result{
+		CompletionTime:   c.doneAtV,
+		Processed:        make([]int, n),
+		ProcessedIDs:     make([][]uint64, n),
+		Failures:         int(atomic.LoadInt64(&c.failures)),
+		Recoveries:       int(atomic.LoadInt64(&c.recoveries)),
+		TransfersSent:    int(atomic.LoadInt64(&c.transfersSent)),
+		TasksTransferred: int(atomic.LoadInt64(&c.tasksMoved)),
+		StatePackets:     int(atomic.LoadInt64(&c.statePackets)),
+		Trace:            c.trace,
+	}
+	for i, nd := range c.nodes {
+		nd.mu.Lock()
+		res.Processed[i] = len(nd.processed)
+		res.ProcessedIDs[i] = append([]uint64(nil), nd.processed...)
+		nd.mu.Unlock()
+	}
+	return res, nil
+}
+
+// now returns the virtual clock.
+func (c *clusterRun) now() float64 {
+	return time.Since(c.start).Seconds() * c.cfg.TimeScale
+}
+
+// wall converts virtual seconds to wall duration.
+func (c *clusterRun) wall(v float64) time.Duration {
+	return time.Duration(v / c.cfg.TimeScale * float64(time.Second))
+}
+
+// spinThreshold is the tail of every wait that is spin-waited instead of
+// timer-slept. OS timers on stock kernels have a ~1 ms floor, which at
+// TimeScale 2000 would stretch every 0.5 ms service time threefold and
+// bias completion times far above the model; burning a core for the final
+// couple of milliseconds keeps virtual time faithful.
+const spinThreshold = 2 * time.Millisecond
+
+type sleepOutcome int
+
+const (
+	sleptFull sleepOutcome = iota
+	sleepInterrupted
+	sleepStopped
+)
+
+// preciseWait waits for d of wall time, honouring an optional interrupt
+// channel (the application layer's failure signal) and the run's stop
+// channel. The bulk is timer-slept, the tail spin-waited.
+func (c *clusterRun) preciseWait(d time.Duration, interrupt <-chan struct{}) sleepOutcome {
+	deadline := time.Now().Add(d)
+	if coarse := d - spinThreshold; coarse > 0 {
+		t := time.NewTimer(coarse)
+		if interrupt != nil {
+			select {
+			case <-t.C:
+			case <-interrupt:
+				t.Stop()
+				return sleepInterrupted
+			case <-c.stop:
+				t.Stop()
+				return sleepStopped
+			}
+		} else {
+			select {
+			case <-t.C:
+			case <-c.stop:
+				t.Stop()
+				return sleepStopped
+			}
+		}
+	}
+	for time.Now().Before(deadline) {
+		if interrupt != nil {
+			select {
+			case <-interrupt:
+				return sleepInterrupted
+			case <-c.stop:
+				return sleepStopped
+			default:
+			}
+		} else {
+			select {
+			case <-c.stop:
+				return sleepStopped
+			default:
+			}
+		}
+	}
+	return sleptFull
+}
+
+// sleepV waits for v virtual seconds; false means the run stopped.
+func (c *clusterRun) sleepV(v float64) bool {
+	return c.preciseWait(c.wall(v), nil) == sleptFull
+}
+
+func kickChan(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+func (c *clusterRun) finish() {
+	c.doneOnce.Do(func() {
+		c.doneAtV = c.now()
+		close(c.doneCh)
+	})
+}
+
+func (c *clusterRun) traceEvent(kind model.EventKind, nodeID int) {
+	if !c.cfg.Trace {
+		return
+	}
+	queues := make([]int, len(c.nodes))
+	for i, nd := range c.nodes {
+		nd.mu.Lock()
+		queues[i] = len(nd.queue)
+		nd.mu.Unlock()
+	}
+	c.traceMu.Lock()
+	c.trace = append(c.trace, model.TracePoint{Time: c.now(), Kind: kind, Node: nodeID, Queues: queues})
+	c.traceMu.Unlock()
+}
+
+// snapshot assembles the node's local view: its own queue exactly, peers
+// from the most recent state packets (possibly stale — as in the real
+// system).
+func (c *clusterRun) snapshot(nd *node) model.State {
+	n := len(c.nodes)
+	s := model.State{
+		Time:          c.now(),
+		Queues:        make([]int, n),
+		Up:            make([]bool, n),
+		InFlightTasks: int(atomic.LoadInt64(&c.inFlight)),
+	}
+	nd.mu.Lock()
+	for i := 0; i < n; i++ {
+		if i == nd.id {
+			s.Queues[i] = len(nd.queue)
+			s.Up[i] = nd.up
+		} else {
+			s.Queues[i] = int(nd.peers[i].queueLen)
+			s.Up[i] = nd.peers[i].up
+		}
+	}
+	nd.mu.Unlock()
+	return s
+}
+
+// appLoop is the application layer: pop a task, "execute" it for an
+// exponentially distributed time (optionally doing the real matrix
+// arithmetic), credit completion. A failure signal interrupts the task in
+// progress; the backup preserves it and it re-enters the queue.
+func (c *clusterRun) appLoop(nd *node) {
+	defer c.wg.Done()
+	rate := c.p.ProcRate[nd.id]
+	for {
+		nd.mu.Lock()
+		for !(nd.up && len(nd.queue) > 0) {
+			nd.mu.Unlock()
+			select {
+			case <-nd.kick:
+			case <-c.stop:
+				return
+			}
+			nd.mu.Lock()
+		}
+		task := nd.queue[0]
+		nd.queue = nd.queue[1:]
+		nd.mu.Unlock()
+
+		var v float64
+		if c.cfg.RealCompute {
+			v = workload.VirtualSeconds(task, c.cfg.MeanPrecision, rate)
+		} else {
+			v = nd.rngApp.Exp(rate)
+		}
+		switch c.preciseWait(c.wall(v), nd.failInt) {
+		case sleptFull:
+			if c.cfg.RealCompute {
+				c.matrix.MultiplyTask(task)
+			}
+			nd.mu.Lock()
+			nd.processed = append(nd.processed, task.ID)
+			nd.mu.Unlock()
+			c.traceEvent(model.EvCompletion, nd.id)
+			if atomic.AddInt64(&c.processedTotal, 1) == c.total {
+				c.finish()
+			}
+		case sleepInterrupted:
+			// Backup system: the interrupted task survives at the head
+			// of the queue and resumes after recovery.
+			nd.mu.Lock()
+			nd.queue = append([]workload.Task{task}, nd.queue...)
+			nd.mu.Unlock()
+		case sleepStopped:
+			return
+		}
+	}
+}
+
+// churnLoop is the failure-injection process of Section 4: it alternates
+// exponential up/down periods, signalling the application layer to stop
+// and resume, and drives the backup system's on-failure balancing.
+func (c *clusterRun) churnLoop(nd *node) {
+	defer c.wg.Done()
+	if c.p.FailRate[nd.id] == 0 {
+		return
+	}
+	for {
+		if !c.sleepV(nd.rngChurn.Exp(c.p.FailRate[nd.id])) {
+			return
+		}
+		nd.mu.Lock()
+		nd.up = false
+		nd.mu.Unlock()
+		kickChan(nd.failInt)
+		atomic.AddInt64(&c.failures, 1)
+		c.traceEvent(model.EvFailure, nd.id)
+		c.broadcastState(nd)
+		// The backup process computes and executes the compensating
+		// transfers of eq. (8) at the failure instant.
+		c.execTransfers(nd, c.cfg.Policy.OnFailure(nd.id, c.snapshot(nd), c.p))
+
+		if !c.sleepV(nd.rngChurn.Exp(c.p.RecRate[nd.id])) {
+			return
+		}
+		nd.mu.Lock()
+		nd.up = true
+		nd.mu.Unlock()
+		select {
+		case <-nd.failInt: // drain a stale interrupt, if any
+		default:
+		}
+		atomic.AddInt64(&c.recoveries, 1)
+		c.traceEvent(model.EvRecovery, nd.id)
+		kickChan(nd.kick)
+		c.broadcastState(nd)
+	}
+}
+
+// execTransfers runs the sender-side of the LB layer for transfers whose
+// source is this node: detach tasks from the queue and ship them after
+// the channel's random delay.
+func (c *clusterRun) execTransfers(nd *node, trs []model.Transfer) {
+	for _, tr := range trs {
+		if tr.From != nd.id || tr.To == tr.From || tr.Tasks <= 0 {
+			continue
+		}
+		if tr.To < 0 || tr.To >= len(c.nodes) {
+			continue
+		}
+		nd.mu.Lock()
+		k := tr.Tasks
+		if k > len(nd.queue) {
+			k = len(nd.queue)
+		}
+		var tasks []workload.Task
+		if k > 0 {
+			// Ship from the tail: the head may be in service.
+			tasks = append([]workload.Task(nil), nd.queue[len(nd.queue)-k:]...)
+			nd.queue = nd.queue[:len(nd.queue)-k]
+		}
+		nd.mu.Unlock()
+		if k == 0 {
+			continue
+		}
+		atomic.AddInt64(&c.inFlight, int64(k))
+		atomic.AddInt64(&c.transfersSent, 1)
+		atomic.AddInt64(&c.tasksMoved, int64(k))
+		c.traceEvent(model.EvSend, nd.id)
+		delay := nd.rngLB.ExpMean(c.p.DelayPerTask * float64(k))
+		to := tr.To
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			if !c.sleepV(delay) {
+				return
+			}
+			// Reliable task path (TCP in the paper).
+			_ = c.transport.SendTasks(nd.id, to, tasks)
+		}()
+	}
+}
+
+// taskRecvLoop is the receive side of the communication layer's reliable
+// task path.
+func (c *clusterRun) taskRecvLoop(nd *node) {
+	defer c.wg.Done()
+	for {
+		select {
+		case b, ok := <-c.transport.Tasks(nd.id):
+			if !ok {
+				return
+			}
+			nd.mu.Lock()
+			nd.queue = append(nd.queue, b.Tasks...)
+			nd.mu.Unlock()
+			atomic.AddInt64(&c.inFlight, -int64(len(b.Tasks)))
+			c.traceEvent(model.EvArrival, nd.id)
+			kickChan(nd.kick)
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// stateLoop is the unreliable state-exchange path: it periodically
+// broadcasts this node's state packet and folds received packets into the
+// peer table.
+func (c *clusterRun) stateLoop(nd *node) {
+	defer c.wg.Done()
+	period := c.wall(c.cfg.StateInterval)
+	if period < time.Millisecond {
+		period = time.Millisecond // avoid a busy ticker at high TimeScale
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			c.broadcastState(nd)
+		case p, ok := <-c.transport.State(nd.id):
+			if !ok {
+				return
+			}
+			atomic.AddInt64(&c.statePackets, 1)
+			nd.mu.Lock()
+			from := int(p.From)
+			if from >= 0 && from < len(nd.peers) && p.Seq >= nd.peers[from].seq {
+				nd.peers[from] = peerInfo{queueLen: p.QueueLen, up: p.Up, seq: p.Seq}
+			}
+			nd.mu.Unlock()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+func (c *clusterRun) broadcastState(nd *node) {
+	nd.mu.Lock()
+	nd.seq++
+	pkt := StatePacket{
+		From:      uint16(nd.id),
+		Seq:       nd.seq,
+		QueueLen:  uint32(len(nd.queue)),
+		Up:        nd.up,
+		RateMilli: uint32(c.p.ProcRate[nd.id] * 1000),
+		TimeMs:    uint64(c.now() * 1000),
+	}
+	nd.mu.Unlock()
+	c.transport.SendState(nd.id, pkt)
+}

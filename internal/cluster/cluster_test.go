@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/stats"
+)
+
+func fastConfig(load []int, pol policy.Policy) Config {
+	return Config{
+		Params:      model.PaperBaseline(),
+		Policy:      pol,
+		InitialLoad: load,
+		TimeScale:   4000, // ~30 ms wall for the (100,60) workload
+		Seed:        1,
+		MaxWall:     30 * time.Second,
+	}
+}
+
+// checkConservation asserts that every initial task was processed exactly
+// once across the cluster.
+func checkConservation(t *testing.T, res *Result, total int) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	count := 0
+	for _, ids := range res.ProcessedIDs {
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("task %d processed twice", id)
+			}
+			seen[id] = true
+			count++
+		}
+	}
+	if count != total {
+		t.Fatalf("processed %d tasks, want %d", count, total)
+	}
+}
+
+func TestRunCompletesAndConserves(t *testing.T) {
+	res, err := Run(fastConfig([]int{60, 40}, policy.LBP2{K: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, res, 100)
+	if res.CompletionTime <= 0 {
+		t.Fatalf("completion time %v", res.CompletionTime)
+	}
+}
+
+func TestRunNoBalance(t *testing.T) {
+	res, err := Run(fastConfig([]int{30, 30}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, res, 60)
+	if res.TransfersSent != 0 {
+		t.Fatalf("no-balance run sent %d transfers", res.TransfersSent)
+	}
+}
+
+func TestRunLBP1InitialTransferHappens(t *testing.T) {
+	res, err := Run(fastConfig([]int{80, 20}, policy.LBP1{K: 0.5, Sender: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, res, 100)
+	if res.TransfersSent != 1 || res.TasksTransferred != 40 {
+		t.Fatalf("transfers %d / tasks %d, want 1 / 40", res.TransfersSent, res.TasksTransferred)
+	}
+}
+
+func TestRunEmptyWorkload(t *testing.T) {
+	res, err := Run(fastConfig([]int{0, 0}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionTime < 0 || res.Processed[0]+res.Processed[1] != 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := fastConfig([]int{10, 10}, nil)
+	cfg.InitialLoad = []int{10}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("ragged initial load accepted")
+	}
+	cfg = fastConfig([]int{10, 10}, nil)
+	cfg.Params.ProcRate[0] = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestFailuresObservedOnLongRun(t *testing.T) {
+	cfg := fastConfig([]int{100, 60}, policy.LBP2{K: 1})
+	cfg.Seed = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, res, 160)
+	// Mean failure time is 20 s and the run lasts ~110+ virtual seconds,
+	// so seeing zero failures on both nodes is vanishingly unlikely.
+	if res.Failures == 0 {
+		t.Fatal("no failures observed in a ~110 s virtual run")
+	}
+	// LBP-2 must have responded to at least one failure with work queued.
+	if res.Failures > 3 && res.TransfersSent <= 1 {
+		t.Fatalf("failures %d but transfers only %d", res.Failures, res.TransfersSent)
+	}
+}
+
+func TestTraceRecordsQueueEvolution(t *testing.T) {
+	cfg := fastConfig([]int{40, 20}, policy.LBP1{K: 0.35, Sender: 0})
+	cfg.Trace = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) < 60 {
+		t.Fatalf("trace has %d points, expected at least one per completion", len(res.Trace))
+	}
+	if res.Trace[0].Kind != model.EvStart {
+		t.Fatal("trace must begin with start")
+	}
+	prev := -1.0
+	for _, tp := range res.Trace {
+		if tp.Time < prev-1e-9 {
+			t.Fatalf("trace time regressed: %v after %v", tp.Time, prev)
+		}
+		prev = tp.Time
+		for _, q := range tp.Queues {
+			if q < 0 {
+				t.Fatalf("negative queue in trace: %+v", tp)
+			}
+		}
+	}
+}
+
+func TestStatePacketsFlow(t *testing.T) {
+	cfg := fastConfig([]int{60, 60}, nil)
+	cfg.StateInterval = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatePackets == 0 {
+		t.Fatal("no state packets exchanged")
+	}
+}
+
+func TestRealComputeMode(t *testing.T) {
+	cfg := fastConfig([]int{25, 25}, policy.LBP2{K: 1})
+	cfg.RealCompute = true
+	cfg.MatrixDim = 16
+	cfg.MeanPrecision = 20
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, res, 50)
+}
+
+// The testbed's mean completion must agree with the analytical model to
+// within the tolerance expected of timer jitter at this scale (a few
+// replications keep the test fast; the experiment harness uses more).
+func TestCompletionTimeTracksTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replication testbed run")
+	}
+	var w stats.Welford
+	for rep := 0; rep < 6; rep++ {
+		cfg := fastConfig([]int{100, 60}, policy.LBP1{K: 0.35, Sender: 0})
+		cfg.TimeScale = 2000
+		cfg.Seed = uint64(100 + rep)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkConservation(t, res, 160)
+		w.Add(res.CompletionTime)
+	}
+	// Theory says 116.75 s; the completion time is noisy (σ ≈ 25 s), so
+	// only guard against gross disagreement.
+	if w.Mean() < 60 || w.Mean() > 220 {
+		t.Fatalf("testbed mean %v far from theoretical 116.75", w.Mean())
+	}
+}
+
+func TestThreeNodeCluster(t *testing.T) {
+	p := model.Params{
+		ProcRate:     []float64{1.0, 1.5, 2.0},
+		FailRate:     []float64{0.05, 0, 0.05},
+		RecRate:      []float64{0.1, 0, 0.1},
+		DelayPerTask: 0.02,
+	}
+	res, err := Run(Config{
+		Params:      p,
+		Policy:      policy.LBP2{K: 1},
+		InitialLoad: []int{90, 10, 10},
+		TimeScale:   4000,
+		Seed:        5,
+		MaxWall:     30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, res, 110)
+	if res.TasksTransferred == 0 {
+		t.Fatal("overloaded node never shed work")
+	}
+}
+
+func TestStatePacketWireFormat(t *testing.T) {
+	p := StatePacket{From: 3, Seq: 42, QueueLen: 117, Up: true, RateMilli: 1860, TimeMs: 123456}
+	buf := p.AppendWire(nil)
+	if len(buf) != statePacketSize {
+		t.Fatalf("packet size %d, want %d", len(buf), statePacketSize)
+	}
+	if len(buf) < 20 || len(buf) > 34 {
+		t.Fatalf("packet size %d outside the paper's 20–34 byte range", len(buf))
+	}
+	got, err := DecodeStatePacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip %+v vs %+v", got, p)
+	}
+	if _, err := DecodeStatePacket(buf[:10]); err == nil {
+		t.Fatal("short packet accepted")
+	}
+}
+
+func TestChanTransportDropsWhenCongested(t *testing.T) {
+	tr := NewChanTransport(2)
+	defer tr.Close()
+	// Overfill node 1's state buffer; SendState must not block.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			tr.SendState(0, StatePacket{From: 0, Seq: uint32(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SendState blocked on a congested receiver")
+	}
+}
+
+func TestMeanCompletionReasonableVsMarkov(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	// Single fast check that virtual-time scaling is calibrated: a
+	// no-failure, no-balance (40,0) run ≈ 40/1.08 ≈ 37 virtual seconds.
+	cfg := Config{
+		Params:      model.PaperBaseline().NoFailure(),
+		InitialLoad: []int{40, 0},
+		TimeScale:   2000,
+		Seed:        9,
+		MaxWall:     30 * time.Second,
+	}
+	var w stats.Welford
+	for rep := 0; rep < 8; rep++ {
+		cfg.Seed = uint64(rep)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Add(res.CompletionTime)
+	}
+	want := 40 / 1.08
+	if math.Abs(w.Mean()-want) > 0.5*want {
+		t.Fatalf("testbed mean %v, want ≈%v", w.Mean(), want)
+	}
+}

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"churnlb/internal/workload"
+)
+
+// NetTransport carries node communication over real loopback sockets,
+// matching the paper's communication layer: state packets over UDP
+// (23-byte datagrams) and task payloads over TCP with length-prefixed
+// frames. Every node owns one UDP socket and one TCP listener; task
+// connections are dialled lazily and cached per (from, to) pair.
+type NetTransport struct {
+	n         int
+	udpConns  []*net.UDPConn
+	udpAddrs  []*net.UDPAddr
+	tcpLns    []net.Listener
+	tcpAddrs  []string
+	state     []chan StatePacket
+	tasks     []chan TaskBundle
+	mu        sync.Mutex
+	taskConns map[[2]int]net.Conn
+	closed    chan struct{}
+	once      sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewNetTransport binds loopback sockets for n nodes and starts their
+// receive loops.
+func NewNetTransport(n int) (*NetTransport, error) {
+	t := &NetTransport{
+		n:         n,
+		udpConns:  make([]*net.UDPConn, n),
+		udpAddrs:  make([]*net.UDPAddr, n),
+		tcpLns:    make([]net.Listener, n),
+		tcpAddrs:  make([]string, n),
+		state:     make([]chan StatePacket, n),
+		tasks:     make([]chan TaskBundle, n),
+		taskConns: map[[2]int]net.Conn{},
+		closed:    make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		t.state[i] = make(chan StatePacket, 64)
+		t.tasks[i] = make(chan TaskBundle, 64)
+		uc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("cluster: udp listen: %w", err)
+		}
+		t.udpConns[i] = uc
+		t.udpAddrs[i] = uc.LocalAddr().(*net.UDPAddr)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("cluster: tcp listen: %w", err)
+		}
+		t.tcpLns[i] = ln
+		t.tcpAddrs[i] = ln.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		t.wg.Add(2)
+		go t.udpLoop(i)
+		go t.acceptLoop(i)
+	}
+	return t, nil
+}
+
+func (t *NetTransport) udpLoop(i int) {
+	defer t.wg.Done()
+	buf := make([]byte, 256)
+	for {
+		n, _, err := t.udpConns[i].ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		p, err := DecodeStatePacket(buf[:n])
+		if err != nil {
+			continue // malformed datagram: drop, like the real system
+		}
+		select {
+		case t.state[i] <- p:
+		case <-t.closed:
+			return
+		default: // receiver congested: drop
+		}
+	}
+}
+
+func (t *NetTransport) acceptLoop(i int) {
+	defer t.wg.Done()
+	for {
+		conn, err := t.tcpLns[i].Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.readTasks(i, conn)
+	}
+}
+
+// readTasks consumes length-prefixed frames: [4B total length][2B from]
+// [4B count][count serialised tasks].
+func (t *NetTransport) readTasks(i int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		if size < 6 || size > 64<<20 {
+			return // corrupt frame
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		from := int(binary.BigEndian.Uint16(frame))
+		count := int(binary.BigEndian.Uint32(frame[2:]))
+		payload := frame[6:]
+		tasks := make([]workload.Task, 0, count)
+		ok := true
+		for k := 0; k < count; k++ {
+			task, rest, err := workload.DecodeTask(payload)
+			if err != nil {
+				ok = false
+				break
+			}
+			tasks = append(tasks, task)
+			payload = rest
+		}
+		if !ok {
+			return
+		}
+		select {
+		case t.tasks[i] <- TaskBundle{From: from, Tasks: tasks}:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// SendState implements Transport over UDP datagrams.
+func (t *NetTransport) SendState(from int, p StatePacket) {
+	buf := p.AppendWire(nil)
+	for i := 0; i < t.n; i++ {
+		if i == from {
+			continue
+		}
+		// Errors are ignored: UDP state exchange is best-effort.
+		_, _ = t.udpConns[from].WriteToUDP(buf, t.udpAddrs[i])
+	}
+}
+
+// SendTasks implements Transport over a cached TCP connection.
+func (t *NetTransport) SendTasks(from, to int, tasks []workload.Task) error {
+	if to < 0 || to >= t.n {
+		return fmt.Errorf("cluster: invalid destination %d", to)
+	}
+	conn, err := t.taskConn(from, to)
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, 6)
+	binary.BigEndian.PutUint16(payload, uint16(from))
+	binary.BigEndian.PutUint32(payload[2:], uint32(len(tasks)))
+	for _, task := range tasks {
+		payload = task.AppendWire(payload)
+	}
+	frame := make([]byte, 4, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := conn.Write(frame); err != nil {
+		delete(t.taskConns, [2]int{from, to})
+		return fmt.Errorf("cluster: task send: %w", err)
+	}
+	return nil
+}
+
+func (t *NetTransport) taskConn(from, to int) (net.Conn, error) {
+	key := [2]int{from, to}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.taskConns[key]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", t.tcpAddrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("cluster: task dial: %w", err)
+	}
+	t.taskConns[key] = c
+	return c, nil
+}
+
+// State implements Transport.
+func (t *NetTransport) State(i int) <-chan StatePacket { return t.state[i] }
+
+// Tasks implements Transport.
+func (t *NetTransport) Tasks(i int) <-chan TaskBundle { return t.tasks[i] }
+
+// Close implements Transport.
+func (t *NetTransport) Close() error {
+	t.once.Do(func() {
+		close(t.closed)
+		for _, c := range t.udpConns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		for _, ln := range t.tcpLns {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		t.mu.Lock()
+		for k, c := range t.taskConns {
+			c.Close()
+			delete(t.taskConns, k)
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}

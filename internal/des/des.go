@@ -1,0 +1,170 @@
+// Package des is a small discrete-event simulation kernel: a simulation
+// clock plus a binary event heap with O(log n) scheduling and cancellation.
+// Ties are broken by insertion order, so simulations driven by a
+// deterministic random stream are bit-reproducible.
+package des
+
+import "fmt"
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	index     int // position in the heap, -1 once fired or cancelled
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h *Handle) Cancel() {
+	if h != nil {
+		h.cancelled = true
+	}
+}
+
+// Scheduler owns the simulation clock and the pending-event heap.
+type Scheduler struct {
+	now    float64
+	seq    uint64
+	events []*Handle
+	fired  uint64
+}
+
+// New returns an empty scheduler at time 0.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Len returns the number of scheduled (possibly cancelled) events.
+func (s *Scheduler) Len() int { return len(s.events) }
+
+// At schedules fn at absolute time t, which must not precede the clock.
+func (s *Scheduler) At(t float64, fn func()) *Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling into the past: %v < %v", t, s.now))
+	}
+	s.seq++
+	h := &Handle{time: t, seq: s.seq, fn: fn}
+	s.push(h)
+	return h
+}
+
+// After schedules fn after delay d (d < 0 is clamped to 0).
+func (s *Scheduler) After(d float64, fn func()) *Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the next pending event. It returns false when no events
+// remain. Cancelled events are discarded silently.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		h := s.pop()
+		if h.cancelled {
+			continue
+		}
+		s.now = h.time
+		s.fired++
+		h.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the predicate becomes true or the event
+// queue drains. It returns true if the predicate was satisfied.
+func (s *Scheduler) RunUntil(done func() bool) bool {
+	for !done() {
+		if !s.Step() {
+			return done()
+		}
+	}
+	return true
+}
+
+// Run fires every event with time <= tMax and advances the clock to tMax.
+func (s *Scheduler) Run(tMax float64) {
+	for len(s.events) > 0 {
+		h := s.peek()
+		if h.time > tMax {
+			break
+		}
+		s.Step()
+	}
+	if s.now < tMax {
+		s.now = tMax
+	}
+}
+
+// --- binary heap ordered by (time, seq) ---
+
+func (s *Scheduler) less(i, j int) bool {
+	a, b := s.events[i], s.events[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) swap(i, j int) {
+	s.events[i], s.events[j] = s.events[j], s.events[i]
+	s.events[i].index = i
+	s.events[j].index = j
+}
+
+func (s *Scheduler) push(h *Handle) {
+	h.index = len(s.events)
+	s.events = append(s.events, h)
+	s.up(h.index)
+}
+
+func (s *Scheduler) peek() *Handle { return s.events[0] }
+
+func (s *Scheduler) pop() *Handle {
+	h := s.events[0]
+	last := len(s.events) - 1
+	s.swap(0, last)
+	s.events = s.events[:last]
+	if last > 0 {
+		s.down(0)
+	}
+	h.index = -1
+	return h
+}
+
+func (s *Scheduler) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Scheduler) down(i int) {
+	n := len(s.events)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.swap(i, smallest)
+		i = smallest
+	}
+}

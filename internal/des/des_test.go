@@ -1,0 +1,228 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"churnlb/internal/xrand"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []float64
+	rng := xrand.New(1)
+	times := make([]float64, 200)
+	for i := range times {
+		times[i] = rng.Float64() * 100
+		tt := times[i]
+		s.At(tt, func() { order = append(order, tt) })
+	}
+	for s.Step() {
+	}
+	if len(order) != len(times) {
+		t.Fatalf("fired %d of %d", len(order), len(times))
+	}
+	if !sort.Float64sAreSorted(order) {
+		t.Fatal("events fired out of order")
+	}
+	sort.Float64s(times)
+	for i := range times {
+		if times[i] != order[i] {
+			t.Fatal("event set mismatch")
+		}
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5.0, func() { order = append(order, i) })
+	}
+	for s.Step() {
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.At(1, func() { fired = true })
+	ran := false
+	s.At(2, func() { ran = true })
+	h.Cancel()
+	for s.Step() {
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ran {
+		t.Fatal("surviving event did not fire")
+	}
+}
+
+func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
+	s := New()
+	h := s.At(1, func() {})
+	h.Cancel()
+	h.Cancel()
+	var nilH *Handle
+	nilH.Cancel() // must not panic
+	for s.Step() {
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New()
+	s.At(3.5, func() {
+		if s.Now() != 3.5 {
+			t.Fatalf("clock %v inside event at 3.5", s.Now())
+		}
+	})
+	s.Step()
+	if s.Now() != 3.5 {
+		t.Fatalf("clock %v after event", s.Now())
+	}
+}
+
+func TestSchedulingFromWithinEvents(t *testing.T) {
+	s := New()
+	var seq []string
+	s.At(1, func() {
+		seq = append(seq, "a")
+		s.After(1, func() { seq = append(seq, "c") })
+		s.After(0.5, func() { seq = append(seq, "b") })
+	})
+	for s.Step() {
+	}
+	want := "abc"
+	got := ""
+	for _, v := range seq {
+		got += v
+	}
+	if got != want {
+		t.Fatalf("sequence %q, want %q", got, want)
+	}
+}
+
+func TestAfterClampsNegativeDelay(t *testing.T) {
+	s := New()
+	s.At(2, func() {
+		s.After(-5, func() {})
+	})
+	s.Step()
+	if !s.Step() {
+		t.Fatal("clamped event not scheduled")
+	}
+	if s.Now() != 2 {
+		t.Fatalf("clamped event fired at %v, want 2", s.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() { count++ })
+	}
+	ok := s.RunUntil(func() bool { return count >= 4 })
+	if !ok || count != 4 {
+		t.Fatalf("RunUntil stopped at count=%d ok=%v", count, ok)
+	}
+	ok = s.RunUntil(func() bool { return count >= 100 })
+	if ok || count != 10 {
+		t.Fatalf("RunUntil on drained queue: count=%d ok=%v", count, ok)
+	}
+}
+
+func TestRunUpToHorizon(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, tt := range []float64{1, 2, 3, 7, 9} {
+		tt := tt
+		s.At(tt, func() { fired = append(fired, tt) })
+	}
+	s.Run(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events <= 5", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock %v, want horizon 5", s.Now())
+	}
+	s.Run(20)
+	if len(fired) != 5 {
+		t.Fatalf("remaining events not fired: %v", fired)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.At(float64(i), func() {})
+	}
+	s.At(10, func() {}).Cancel()
+	for s.Step() {
+	}
+	if s.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5 (cancelled events excluded)", s.Fired())
+	}
+}
+
+// Property: with random schedules and random cancellations, surviving
+// events fire exactly once, in order.
+func TestHeapProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := xrand.NewStream(uint64(seed), 9)
+		s := New()
+		n := 50 + rng.Intn(200)
+		handles := make([]*Handle, n)
+		firedAt := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			tt := rng.Float64() * 1000
+			handles[i] = s.At(tt, func() { firedAt = append(firedAt, tt) })
+		}
+		cancelled := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.3 {
+				handles[i].Cancel()
+				cancelled++
+			}
+		}
+		for s.Step() {
+		}
+		if len(firedAt) != n-cancelled {
+			return false
+		}
+		return sort.Float64sAreSorted(firedAt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	s := New()
+	rng := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		s.After(rng.Float64(), func() {})
+		s.Step()
+	}
+}

@@ -1,0 +1,171 @@
+// Package markov implements the regenerative-process analysis of Section 2
+// of Dhakal et al., "Load Balancing in the Presence of Random Node Failure
+// and Recovery" (IPDPS 2006).
+//
+// The two-node distributed system is a continuous-time Markov process over
+//
+//	(M0, M1)  — tasks queued at node 0 and node 1,
+//	s         — the work state: which nodes are up,
+//	pending   — an optional in-flight transfer of L tasks.
+//
+// Every node i processes tasks at rate ProcRate[i] while up, fails at rate
+// FailRate[i] while up, and recovers at rate RecRate[i] while down. A
+// transfer of L tasks arrives after an exponential delay with rate
+// 1/(DelayPerTask·L), matching the empirically linear mean delay of the
+// paper's Fig. 2.
+//
+// MeanSolver solves the difference equations (eq. 4): at each lattice point
+// the four work-state means couple only through failure/recovery
+// transitions, giving a 4×4 linear system whose right-hand side references
+// already-solved lattice points. CDFSolver integrates the distribution-
+// function ODEs (eq. 5) for the full law of the completion time.
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// WorkState encodes which nodes are up: bit i set means node i is working.
+type WorkState uint8
+
+// Work states of the two-node system.
+const (
+	BothDown WorkState = 0 // (0,0)
+	Node0Up  WorkState = 1 // (1,0): node 0 up, node 1 down
+	Node1Up  WorkState = 2 // (0,1)
+	BothUp   WorkState = 3 // (1,1)
+)
+
+// Up reports whether node i is up in state s.
+func (s WorkState) Up(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// WithDown returns s with node i marked down.
+func (s WorkState) WithDown(i int) WorkState { return s &^ (1 << uint(i)) }
+
+// WithUp returns s with node i marked up.
+func (s WorkState) WithUp(i int) WorkState { return s | (1 << uint(i)) }
+
+func (s WorkState) String() string {
+	k0, k1 := 0, 0
+	if s.Up(0) {
+		k0 = 1
+	}
+	if s.Up(1) {
+		k1 = 1
+	}
+	return fmt.Sprintf("(%d,%d)", k0, k1)
+}
+
+// Params holds the stochastic parameters of the two-node model. All rates
+// are per second.
+type Params struct {
+	// ProcRate is λd: tasks processed per second by each node while up.
+	ProcRate [2]float64
+	// FailRate is λf: failures per second while up. Zero disables failure.
+	FailRate [2]float64
+	// RecRate is λr: recoveries per second while down. Must be positive
+	// for any node with a positive failure rate.
+	RecRate [2]float64
+	// DelayPerTask is δ: the mean transfer delay contributed by each task
+	// in a transferred load; a bundle of L tasks arrives after
+	// Exp(1/(δ·L)). Zero means transfers arrive instantaneously.
+	DelayPerTask float64
+}
+
+// PaperBaseline returns the parameter set measured in Section 4 of the
+// paper: processing rates 1.08 and 1.86 tasks/s, mean failure time 20 s for
+// both nodes, mean recovery times 10 s and 20 s, and a mean transfer delay
+// of 0.02 s per task.
+func PaperBaseline() Params {
+	return Params{
+		ProcRate:     [2]float64{1.08, 1.86},
+		FailRate:     [2]float64{1.0 / 20, 1.0 / 20},
+		RecRate:      [2]float64{1.0 / 10, 1.0 / 20},
+		DelayPerTask: 0.02,
+	}
+}
+
+// NoFailure returns a copy of p with both failure rates zeroed, the
+// reference scenario used throughout the paper's comparisons.
+func (p Params) NoFailure() Params {
+	p.FailRate = [2]float64{0, 0}
+	return p
+}
+
+// WithDelay returns a copy of p with the per-task transfer delay replaced.
+func (p Params) WithDelay(delta float64) Params {
+	p.DelayPerTask = delta
+	return p
+}
+
+// Validate checks that the parameters describe a well-posed model in which
+// every queued task eventually completes with probability one.
+func (p Params) Validate() error {
+	for i := 0; i < 2; i++ {
+		if p.ProcRate[i] <= 0 || math.IsNaN(p.ProcRate[i]) || math.IsInf(p.ProcRate[i], 0) {
+			return fmt.Errorf("markov: ProcRate[%d] = %v must be positive and finite", i, p.ProcRate[i])
+		}
+		if p.FailRate[i] < 0 || math.IsNaN(p.FailRate[i]) {
+			return fmt.Errorf("markov: FailRate[%d] = %v must be non-negative", i, p.FailRate[i])
+		}
+		if p.RecRate[i] < 0 || math.IsNaN(p.RecRate[i]) {
+			return fmt.Errorf("markov: RecRate[%d] = %v must be non-negative", i, p.RecRate[i])
+		}
+		if p.FailRate[i] > 0 && p.RecRate[i] <= 0 {
+			return fmt.Errorf("markov: node %d can fail (λf=%v) but never recovers (λr=%v)", i, p.FailRate[i], p.RecRate[i])
+		}
+	}
+	if p.DelayPerTask < 0 || math.IsNaN(p.DelayPerTask) {
+		return fmt.Errorf("markov: DelayPerTask = %v must be non-negative", p.DelayPerTask)
+	}
+	return nil
+}
+
+// TransferRate returns the arrival rate λ_transfer(L) = 1/(δ·L) of an
+// in-flight bundle of L tasks. It returns +Inf when the model has no delay
+// (δ = 0); callers treat that case as an instantaneous transfer.
+func (p Params) TransferRate(l int) float64 {
+	if l <= 0 {
+		panic("markov: TransferRate of empty transfer")
+	}
+	if p.DelayPerTask == 0 {
+		return math.Inf(1)
+	}
+	return 1 / (p.DelayPerTask * float64(l))
+}
+
+// Availability returns the steady-state probability that node i is up:
+// λr/(λf+λr), or 1 when the node never fails. This is the weighting factor
+// of the LBP-2 on-failure transfer (eq. 8).
+func (p Params) Availability(i int) float64 {
+	if p.FailRate[i] == 0 {
+		return 1
+	}
+	return p.RecRate[i] / (p.FailRate[i] + p.RecRate[i])
+}
+
+// EffectiveRate returns the long-run processing rate of node i accounting
+// for down time: λd·availability.
+func (p Params) EffectiveRate(i int) float64 {
+	return p.ProcRate[i] * p.Availability(i)
+}
+
+// Transfer describes a load in flight between the nodes.
+type Transfer struct {
+	To    int // receiving node, 0 or 1
+	Tasks int // number of tasks in the bundle (> 0)
+}
+
+// RoundGain converts a continuous gain K and a sender queue size into the
+// integral transfer size L = round(K·m) used throughout the paper.
+func RoundGain(k float64, m int) int {
+	if k <= 0 || m <= 0 {
+		return 0
+	}
+	l := int(math.Round(k * float64(m)))
+	if l > m {
+		l = m
+	}
+	return l
+}

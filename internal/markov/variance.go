@@ -1,0 +1,211 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"churnlb/internal/linalg"
+)
+
+// Second moments via regeneration. For a process that regenerates after
+// the exponential sojourn τ = Exp(λ_s), the completion time decomposes as
+// T = τ + T', with τ independent of both the branch taken and the
+// post-jump remainder T' (the minimum and the arg-min of competing
+// exponentials are independent). Hence
+//
+//	E[T²|s] = E[τ²] + 2·E[τ]·E[T'] + E[T'²]
+//	        = 2/λ_s² + (2/λ_s)·Σ_e p_e·µ_target(e) + Σ_e p_e·m2_target(e),
+//
+// which is the same lattice structure as eq. (4) with a right-hand side
+// built from the already-solved means. VarianceSolver reuses MeanSolver's
+// tables and solves the m2 lattice on top, giving exact standard
+// deviations of the overall completion time — a quantity the paper only
+// reaches through its CDF machinery.
+type VarianceSolver struct {
+	ms *MeanSolver
+	// m2hat caches the hat second-moment table.
+	m2hat *meanTable
+}
+
+// NewVarianceSolver wraps a validated parameter set.
+func NewVarianceSolver(p Params) (*VarianceSolver, error) {
+	ms, err := NewMeanSolver(p)
+	if err != nil {
+		return nil, err
+	}
+	return &VarianceSolver{ms: ms}, nil
+}
+
+// ensureHatM2 grows the cached hat second-moment table.
+func (vs *VarianceSolver) ensureHatM2(n0, n1 int) {
+	if vs.m2hat != nil && vs.m2hat.n0 >= n0 && vs.m2hat.n1 >= n1 {
+		return
+	}
+	if vs.m2hat != nil {
+		if vs.m2hat.n0 > n0 {
+			n0 = vs.m2hat.n0
+		}
+		if vs.m2hat.n1 > n1 {
+			n1 = vs.m2hat.n1
+		}
+	}
+	vs.ms.ensureHat(n0, n1)
+	vs.m2hat = vs.solveM2Lattice(n0, n1, 0, Transfer{}, nil, nil)
+}
+
+// solveM2Lattice mirrors MeanSolver.solveLattice for second moments. For
+// the main (in-flight) system, mean and m2 hat tables must already cover
+// the arrival offsets.
+func (vs *VarianceSolver) solveM2Lattice(n0, n1 int, z float64, tr Transfer, meanMain *meanTable, m2HatTbl *meanTable) *meanTable {
+	p := vs.ms.p
+	t := newMeanTable(n0, n1)
+	hx, hy := 0, 0
+	if z > 0 {
+		if tr.To == 0 {
+			hx = tr.Tasks
+		} else {
+			hy = tr.Tasks
+		}
+	}
+	meanHat := vs.ms.hat
+	var a4 [16]float64
+	var b4 [4]float64
+	var x4 [4]float64
+	for sum := 0; sum <= n0+n1; sum++ {
+		for a := 0; a <= n0; a++ {
+			b := sum - a
+			if b < 0 || b > n1 {
+				continue
+			}
+			if a == 0 && b == 0 && z == 0 {
+				continue // done: T ≡ 0, second moment 0
+			}
+			for i := range a4 {
+				a4[i] = 0
+			}
+			for s := WorkState(0); s < 4; s++ {
+				si := int(s)
+				var total float64
+				var meanMix float64 // Σ rate_e · µ_target(e)
+				var m2Known float64 // Σ rate_e · m2_target(e), solved targets only
+				if s.Up(0) && a > 0 {
+					r := p.ProcRate[0]
+					total += r
+					m2Known += r * t.at(a-1, b, s)
+					if z > 0 {
+						meanMix += r * meanMain.at(a-1, b, s)
+					} else {
+						meanMix += r * meanHat.at(a-1, b, s)
+					}
+				}
+				if s.Up(1) && b > 0 {
+					r := p.ProcRate[1]
+					total += r
+					m2Known += r * t.at(a, b-1, s)
+					if z > 0 {
+						meanMix += r * meanMain.at(a, b-1, s)
+					} else {
+						meanMix += r * meanHat.at(a, b-1, s)
+					}
+				}
+				for i := 0; i < 2; i++ {
+					if s.Up(i) {
+						if f := p.FailRate[i]; f > 0 {
+							total += f
+							a4[si*4+int(s.WithDown(i))] -= f
+							if z > 0 {
+								meanMix += f * meanMain.at(a, b, s.WithDown(i))
+							} else {
+								meanMix += f * meanHat.at(a, b, s.WithDown(i))
+							}
+						}
+					} else if r := p.RecRate[i]; r > 0 {
+						total += r
+						a4[si*4+int(s.WithUp(i))] -= r
+						if z > 0 {
+							meanMix += r * meanMain.at(a, b, s.WithUp(i))
+						} else {
+							meanMix += r * meanHat.at(a, b, s.WithUp(i))
+						}
+					}
+				}
+				if z > 0 {
+					total += z
+					m2Known += z * m2HatTbl.at(a+hx, b+hy, s)
+					meanMix += z * meanHat.at(a+hx, b+hy, s)
+				}
+				if total == 0 {
+					a4[si*4+si] = 1
+					b4[si] = 0
+					continue
+				}
+				// λ·m2_s − Σ couplings = 2/λ + (2/λ)·Σ rate·µ_target
+				//                        + Σ rate·m2_target(known).
+				a4[si*4+si] += total
+				b4[si] = 2/total + 2/total*meanMix + m2Known
+			}
+			if !linalg.Solve4(&a4, &b4, &x4) {
+				panic(fmt.Sprintf("markov: singular m2 system at (%d,%d)", a, b))
+			}
+			for s := 0; s < 4; s++ {
+				t.set(a, b, WorkState(s), x4[s])
+			}
+		}
+	}
+	return t
+}
+
+// Moments bundles the exact first two moments of the completion time.
+type Moments struct {
+	Mean     float64
+	Variance float64
+}
+
+// Std returns the standard deviation.
+func (m Moments) Std() float64 {
+	if m.Variance < 0 {
+		return 0
+	}
+	return math.Sqrt(m.Variance)
+}
+
+// MomentsLBP1 returns the exact mean and variance of the overall
+// completion time under LBP-1 with the given sender and gain, both nodes
+// initially up.
+func (vs *VarianceSolver) MomentsLBP1(m0, m1, sender int, k float64) (Moments, error) {
+	if sender != 0 && sender != 1 {
+		return Moments{}, fmt.Errorf("markov: invalid sender %d", sender)
+	}
+	m := [2]int{m0, m1}
+	l := RoundGain(k, m[sender])
+	if l == 0 {
+		vs.ms.ensureHat(m0, m1)
+		vs.ensureHatM2(m0, m1)
+		mean := vs.ms.hat.at(m0, m1, BothUp)
+		m2 := vs.m2hat.at(m0, m1, BothUp)
+		return Moments{Mean: mean, Variance: m2 - mean*mean}, nil
+	}
+	m[sender] -= l
+	tr := Transfer{To: 1 - sender, Tasks: l}
+	z := vs.ms.p.TransferRate(l)
+	hx, hy := 0, 0
+	if tr.To == 0 {
+		hx = l
+	} else {
+		hy = l
+	}
+	vs.ms.ensureHat(m[0]+hx, m[1]+hy)
+	vs.ensureHatM2(m[0]+hx, m[1]+hy)
+	if math.IsInf(z, 1) {
+		q := m
+		q[tr.To] += l
+		mean := vs.ms.hat.at(q[0], q[1], BothUp)
+		m2 := vs.m2hat.at(q[0], q[1], BothUp)
+		return Moments{Mean: mean, Variance: m2 - mean*mean}, nil
+	}
+	meanMain := vs.ms.solveLatticeTransfer(m[0], m[1], tr, z)
+	m2Main := vs.solveM2Lattice(m[0], m[1], z, tr, meanMain, vs.m2hat)
+	mean := meanMain.at(m[0], m[1], BothUp)
+	m2 := m2Main.at(m[0], m[1], BothUp)
+	return Moments{Mean: mean, Variance: m2 - mean*mean}, nil
+}

@@ -1,0 +1,136 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// Erlang closed form: one never-failing node with m tasks has
+// Var[T] = m/λd².
+func TestVarianceErlangClosedForm(t *testing.T) {
+	p := PaperBaseline().NoFailure()
+	vs, err := NewVarianceSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{1, 5, 40} {
+		mom, err := vs.MomentsLBP1(m, 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMean := float64(m) / p.ProcRate[0]
+		wantVar := float64(m) / (p.ProcRate[0] * p.ProcRate[0])
+		if math.Abs(mom.Mean-wantMean) > 1e-9*wantMean {
+			t.Fatalf("m=%d: mean %v, want %v", m, mom.Mean, wantMean)
+		}
+		if math.Abs(mom.Variance-wantVar) > 1e-8*wantVar {
+			t.Fatalf("m=%d: variance %v, want %v", m, mom.Variance, wantVar)
+		}
+	}
+}
+
+// The mean from the variance solver must equal the mean solver exactly.
+func TestVarianceSolverMeanConsistency(t *testing.T) {
+	p := PaperBaseline()
+	vs, _ := NewVarianceSolver(p)
+	ms, _ := NewMeanSolver(p)
+	for _, c := range []struct {
+		m0, m1, sender int
+		k              float64
+	}{
+		{30, 20, 0, 0.4}, {30, 20, 0, 0}, {10, 25, 1, 0.6},
+	} {
+		mom, err := vs.MomentsLBP1(c.m0, c.m1, c.sender, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ms.MeanLBP1(c.m0, c.m1, c.sender, c.k)
+		if math.Abs(mom.Mean-want) > 1e-9*(1+want) {
+			t.Fatalf("%+v: mean %v vs %v", c, mom.Mean, want)
+		}
+		if mom.Variance <= 0 {
+			t.Fatalf("%+v: non-positive variance %v", c, mom.Variance)
+		}
+	}
+}
+
+// Cross-check against the CDF solver: Var = ∫2t(1−F)dt − mean² is
+// awkward numerically, so instead compare the analytical std against the
+// spread of the distribution: for the baseline scenario the CDF's
+// 16–84 percentile half-width approximates one std for a near-Gaussian
+// completion law.
+func TestVarianceAgainstCDFSpread(t *testing.T) {
+	p := PaperBaseline()
+	vs, _ := NewVarianceSolver(p)
+	mom, err := vs.MomentsLBP1(50, 30, 0, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := NewCDFSolver(p)
+	r, err := cs.CDFLBP1(50, 30, 0, 0.35, BothUp, mom.Mean*5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := (r.Quantile(0.84) - r.Quantile(0.16)) / 2
+	if math.Abs(spread-mom.Std())/mom.Std() > 0.25 {
+		t.Fatalf("analytic std %v vs CDF 16-84 half-width %v", mom.Std(), spread)
+	}
+}
+
+// Failures add variance: the baseline scenario must be more variable
+// than its no-failure counterpart.
+func TestFailureInflatesVariance(t *testing.T) {
+	vs, _ := NewVarianceSolver(PaperBaseline())
+	vsNF, _ := NewVarianceSolver(PaperBaseline().NoFailure())
+	withF, err := vs.MomentsLBP1(100, 60, 0, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noF, err := vsNF.MomentsLBP1(100, 60, 0, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withF.Variance <= noF.Variance {
+		t.Fatalf("failure variance %v not above no-failure %v", withF.Variance, noF.Variance)
+	}
+	if withF.Std() <= 0 {
+		t.Fatal("zero std")
+	}
+}
+
+func TestVarianceInstantaneousTransfer(t *testing.T) {
+	p := PaperBaseline().NoFailure().WithDelay(0)
+	vs, _ := NewVarianceSolver(p)
+	// Instant transfer of 10 to node 1 from (10, 0): node 1 alone drains
+	// 10 tasks -> Erlang(10, λd1)... sender keeps 0: mean 10/λd1.
+	mom, err := vs.MomentsLBP1(10, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 10 / p.ProcRate[1]
+	wantVar := 10 / (p.ProcRate[1] * p.ProcRate[1])
+	if math.Abs(mom.Mean-wantMean) > 1e-9 || math.Abs(mom.Variance-wantVar) > 1e-8 {
+		t.Fatalf("moments %+v, want mean %v var %v", mom, wantMean, wantVar)
+	}
+}
+
+func TestVarianceValidation(t *testing.T) {
+	bad := PaperBaseline()
+	bad.ProcRate[0] = 0
+	if _, err := NewVarianceSolver(bad); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	vs, _ := NewVarianceSolver(PaperBaseline())
+	if _, err := vs.MomentsLBP1(5, 5, 3, 0.5); err == nil {
+		t.Fatal("invalid sender accepted")
+	}
+}
+
+func BenchmarkVarianceSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vs, _ := NewVarianceSolver(PaperBaseline())
+		if _, err := vs.MomentsLBP1(100, 60, 0, 0.35); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package mc runs Monte-Carlo replications in parallel. Every replication
+// draws its randomness from an independent stream derived from (seed,
+// replication index), so an estimate is bit-identical no matter how many
+// worker goroutines execute it — determinism under parallelism is what
+// makes the reproduction's numbers stable across machines.
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"churnlb/internal/stats"
+	"churnlb/internal/xrand"
+)
+
+// Replication computes one sample given its private random stream.
+type Replication func(r *xrand.Rand, rep int) (float64, error)
+
+// Estimate aggregates replication outputs.
+type Estimate struct {
+	stats.Summary
+	// Samples holds the per-replication values in replication order.
+	Samples []float64
+}
+
+// Options configures a Monte-Carlo run.
+type Options struct {
+	// Reps is the number of replications (must be positive).
+	Reps int
+	// Workers caps the worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the root seed; replication i uses stream (Seed, i).
+	Seed uint64
+}
+
+// Run executes f for every replication and aggregates the samples.
+// The first replication error aborts the run.
+func Run(opt Options, f Replication) (Estimate, error) {
+	if opt.Reps <= 0 {
+		return Estimate{}, fmt.Errorf("mc: Reps must be positive, got %d", opt.Reps)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.Reps {
+		workers = opt.Reps
+	}
+
+	samples := make([]float64, opt.Reps)
+	errs := make([]error, opt.Reps)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				rep := next
+				next++
+				mu.Unlock()
+				if rep >= opt.Reps {
+					return
+				}
+				rng := xrand.NewStream(opt.Seed, uint64(rep))
+				v, err := f(rng, rep)
+				samples[rep] = v
+				errs[rep] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for rep, err := range errs {
+		if err != nil {
+			return Estimate{}, fmt.Errorf("mc: replication %d: %w", rep, err)
+		}
+	}
+	return Estimate{Summary: stats.Summarize(samples), Samples: samples}, nil
+}
+
+// RunMany evaluates several labelled replication functions over the same
+// seed layout and returns estimates keyed by label — convenient for
+// policy-versus-policy comparisons where common random numbers reduce
+// comparison variance.
+func RunMany(opt Options, fs map[string]Replication) (map[string]Estimate, error) {
+	out := make(map[string]Estimate, len(fs))
+	for label, f := range fs {
+		est, err := Run(opt, f)
+		if err != nil {
+			return nil, fmt.Errorf("mc: %s: %w", label, err)
+		}
+		out[label] = est
+	}
+	return out, nil
+}

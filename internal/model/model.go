@@ -1,0 +1,179 @@
+// Package model defines the N-node system description shared by the
+// policies, the Monte-Carlo simulator and the concurrent testbed: node
+// rates, system snapshots and transfer directives. The two-node analytical
+// package (internal/markov) keeps its own specialised representation
+// mirroring the paper's equations; FromMarkov/ToMarkov convert between the
+// two.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes an N-node distributed system. All rates are per second
+// of simulated time; index i is node i.
+type Params struct {
+	// ProcRate is λd: tasks per second processed by each node while up.
+	ProcRate []float64
+	// FailRate is λf: failures per second while up (0 = never fails).
+	FailRate []float64
+	// RecRate is λr: recoveries per second while down.
+	RecRate []float64
+	// DelayPerTask is δ: mean seconds of transfer delay per task; a bundle
+	// of L tasks takes (on average) δ·L seconds to arrive.
+	DelayPerTask float64
+}
+
+// N returns the number of nodes.
+func (p Params) N() int { return len(p.ProcRate) }
+
+// Validate checks dimensions and well-posedness.
+func (p Params) Validate() error {
+	n := p.N()
+	if n == 0 {
+		return fmt.Errorf("model: no nodes")
+	}
+	if len(p.FailRate) != n || len(p.RecRate) != n {
+		return fmt.Errorf("model: rate slices disagree: %d proc, %d fail, %d rec",
+			n, len(p.FailRate), len(p.RecRate))
+	}
+	for i := 0; i < n; i++ {
+		if p.ProcRate[i] <= 0 || math.IsNaN(p.ProcRate[i]) || math.IsInf(p.ProcRate[i], 0) {
+			return fmt.Errorf("model: ProcRate[%d] = %v must be positive and finite", i, p.ProcRate[i])
+		}
+		if p.FailRate[i] < 0 || math.IsNaN(p.FailRate[i]) {
+			return fmt.Errorf("model: FailRate[%d] = %v must be non-negative", i, p.FailRate[i])
+		}
+		if p.RecRate[i] < 0 || math.IsNaN(p.RecRate[i]) {
+			return fmt.Errorf("model: RecRate[%d] = %v must be non-negative", i, p.RecRate[i])
+		}
+		if p.FailRate[i] > 0 && p.RecRate[i] <= 0 {
+			return fmt.Errorf("model: node %d can fail but never recovers", i)
+		}
+	}
+	if p.DelayPerTask < 0 || math.IsNaN(p.DelayPerTask) {
+		return fmt.Errorf("model: DelayPerTask = %v must be non-negative", p.DelayPerTask)
+	}
+	return nil
+}
+
+// Availability returns λr/(λf+λr) for node i (1 if the node never fails).
+func (p Params) Availability(i int) float64 {
+	if p.FailRate[i] == 0 {
+		return 1
+	}
+	return p.RecRate[i] / (p.FailRate[i] + p.RecRate[i])
+}
+
+// EffectiveRate returns the long-run processing rate λd·availability.
+func (p Params) EffectiveRate(i int) float64 {
+	return p.ProcRate[i] * p.Availability(i)
+}
+
+// TotalProcRate returns Σλd over all nodes.
+func (p Params) TotalProcRate() float64 {
+	s := 0.0
+	for _, r := range p.ProcRate {
+		s += r
+	}
+	return s
+}
+
+// Clone deep-copies the parameter set.
+func (p Params) Clone() Params {
+	return Params{
+		ProcRate:     append([]float64(nil), p.ProcRate...),
+		FailRate:     append([]float64(nil), p.FailRate...),
+		RecRate:      append([]float64(nil), p.RecRate...),
+		DelayPerTask: p.DelayPerTask,
+	}
+}
+
+// NoFailure returns a copy with every failure rate zeroed.
+func (p Params) NoFailure() Params {
+	c := p.Clone()
+	for i := range c.FailRate {
+		c.FailRate[i] = 0
+	}
+	return c
+}
+
+// WithDelay returns a copy with the per-task delay replaced.
+func (p Params) WithDelay(delta float64) Params {
+	c := p.Clone()
+	c.DelayPerTask = delta
+	return c
+}
+
+// PaperBaseline returns the two-node parameter set measured in Section 4
+// of the paper.
+func PaperBaseline() Params {
+	return Params{
+		ProcRate:     []float64{1.08, 1.86},
+		FailRate:     []float64{1.0 / 20, 1.0 / 20},
+		RecRate:      []float64{1.0 / 10, 1.0 / 20},
+		DelayPerTask: 0.02,
+	}
+}
+
+// EventKind labels trace entries emitted by the simulators and the
+// testbed.
+type EventKind string
+
+// Trace event kinds.
+const (
+	EvStart      EventKind = "start"
+	EvCompletion EventKind = "completion"
+	EvFailure    EventKind = "failure"
+	EvRecovery   EventKind = "recovery"
+	EvSend       EventKind = "send"
+	EvArrival    EventKind = "arrival"
+	EvExternal   EventKind = "external"
+	EvDone       EventKind = "done"
+)
+
+// TracePoint records the queue vector after an event — the raw material of
+// the paper's Fig. 4 sample paths.
+type TracePoint struct {
+	Time   float64
+	Kind   EventKind
+	Node   int // primary node of the event (-1 when not applicable)
+	Queues []int
+}
+
+// Transfer directs Tasks tasks from node From to node To.
+type Transfer struct {
+	From, To int
+	Tasks    int
+}
+
+// State is a snapshot of the system handed to policies.
+type State struct {
+	Time          float64
+	Queues        []int
+	Up            []bool
+	InFlightTasks int
+}
+
+// TotalQueued returns the number of queued tasks across all nodes.
+func (s State) TotalQueued() int {
+	t := 0
+	for _, q := range s.Queues {
+		t += q
+	}
+	return t
+}
+
+// Remaining returns queued plus in-flight tasks.
+func (s State) Remaining() int { return s.TotalQueued() + s.InFlightTasks }
+
+// Clone deep-copies the snapshot.
+func (s State) Clone() State {
+	return State{
+		Time:          s.Time,
+		Queues:        append([]int(nil), s.Queues...),
+		Up:            append([]bool(nil), s.Up...),
+		InFlightTasks: s.InFlightTasks,
+	}
+}

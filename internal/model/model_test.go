@@ -1,0 +1,95 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := PaperBaseline().Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	bad := Params{}
+	if bad.Validate() == nil {
+		t.Fatal("empty params accepted")
+	}
+	bad = PaperBaseline()
+	bad.FailRate = bad.FailRate[:1]
+	if bad.Validate() == nil {
+		t.Fatal("ragged slices accepted")
+	}
+	bad = PaperBaseline()
+	bad.ProcRate[0] = math.Inf(1)
+	if bad.Validate() == nil {
+		t.Fatal("infinite rate accepted")
+	}
+	bad = PaperBaseline()
+	bad.FailRate[0] = 0.1
+	bad.RecRate[0] = 0
+	if bad.Validate() == nil {
+		t.Fatal("unrecoverable failing node accepted")
+	}
+}
+
+func TestAvailabilityAndEffectiveRate(t *testing.T) {
+	p := PaperBaseline()
+	if a := p.Availability(0); math.Abs(a-2.0/3.0) > 1e-12 {
+		t.Fatalf("availability(0) = %v", a)
+	}
+	if a := p.Availability(1); math.Abs(a-0.5) > 1e-12 {
+		t.Fatalf("availability(1) = %v", a)
+	}
+	if e := p.EffectiveRate(1); math.Abs(e-0.93) > 1e-12 {
+		t.Fatalf("effective(1) = %v", e)
+	}
+	if p.NoFailure().Availability(0) != 1 {
+		t.Fatal("no-failure availability")
+	}
+}
+
+func TestTotalProcRate(t *testing.T) {
+	if r := PaperBaseline().TotalProcRate(); math.Abs(r-2.94) > 1e-12 {
+		t.Fatalf("total rate = %v", r)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := PaperBaseline()
+	c := p.Clone()
+	c.ProcRate[0] = 99
+	c.DelayPerTask = 99
+	if p.ProcRate[0] == 99 || p.DelayPerTask == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestNoFailureAndWithDelayAreCopies(t *testing.T) {
+	p := PaperBaseline()
+	nf := p.NoFailure()
+	if p.FailRate[0] == 0 {
+		t.Fatal("NoFailure mutated the original")
+	}
+	if nf.FailRate[0] != 0 || nf.FailRate[1] != 0 {
+		t.Fatal("NoFailure did not zero rates")
+	}
+	d := p.WithDelay(3)
+	if p.DelayPerTask == 3 || d.DelayPerTask != 3 {
+		t.Fatal("WithDelay wrong")
+	}
+}
+
+func TestStateHelpers(t *testing.T) {
+	s := State{Queues: []int{3, 4}, Up: []bool{true, false}, InFlightTasks: 5}
+	if s.TotalQueued() != 7 {
+		t.Fatalf("TotalQueued = %d", s.TotalQueued())
+	}
+	if s.Remaining() != 12 {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+	c := s.Clone()
+	c.Queues[0] = 100
+	c.Up[1] = true
+	if s.Queues[0] == 100 || s.Up[1] {
+		t.Fatal("State.Clone shares storage")
+	}
+}

@@ -1,0 +1,355 @@
+// Package policy implements the load-balancing policies of the paper:
+// LBP-1 (a single preemptive transfer at t = 0 sized by a gain K that
+// accounts for failure and recovery statistics) and LBP-2 (a
+// failure-agnostic initial balance using speed-weighted excess loads,
+// eqs. 6–7, plus a compensating transfer at every failure instant, eq. 8).
+// It also provides the no-balancing baseline and the ablated variants used
+// by the benchmark harness.
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"churnlb/internal/model"
+)
+
+// Policy decides load transfers. Implementations must be stateless with
+// respect to individual runs (the simulator may invoke them from many
+// replications); all run state arrives through the State snapshot.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Initial returns the transfers executed at t = 0.
+	Initial(s model.State, p model.Params) []model.Transfer
+	// OnFailure returns the transfers the failing node's backup system
+	// executes at a failure instant.
+	OnFailure(failed int, s model.State, p model.Params) []model.Transfer
+}
+
+// ArrivalBalancer is implemented by policies that additionally rebalance
+// when external workload arrives (the dynamic extension sketched in the
+// paper's conclusion).
+type ArrivalBalancer interface {
+	OnArrival(node int, s model.State, p model.Params) []model.Transfer
+}
+
+// NoBalance performs no transfers at all; the baseline every comparison
+// in the paper is implicitly made against.
+type NoBalance struct{}
+
+// Name implements Policy.
+func (NoBalance) Name() string { return "none" }
+
+// Initial implements Policy.
+func (NoBalance) Initial(model.State, model.Params) []model.Transfer { return nil }
+
+// OnFailure implements Policy.
+func (NoBalance) OnFailure(int, model.State, model.Params) []model.Transfer { return nil }
+
+// AutoSender selects the sender with the larger initial queue (the
+// optimal choice observed throughout Section 4 of the paper).
+const AutoSender = -1
+
+// LBP1 is the preemptive policy: one one-way transfer of K·m_sender tasks
+// at t = 0 and nothing afterwards. For two-node systems the sender is
+// either fixed or chosen as the more loaded node; the gain K should come
+// from the analytical optimisation (markov.MeanSolver.OptimizeLBP1).
+type LBP1 struct {
+	// K is the load-balancing gain in [0, 1].
+	K float64
+	// Sender is the sending node index, or AutoSender to pick the node
+	// with the larger queue.
+	Sender int
+}
+
+// Name implements Policy.
+func (l LBP1) Name() string { return fmt.Sprintf("LBP-1(K=%.2f)", l.K) }
+
+// Initial implements Policy.
+func (l LBP1) Initial(s model.State, p model.Params) []model.Transfer {
+	n := p.N()
+	if n != 2 {
+		// LBP-1 is specified by the paper for two nodes. For larger
+		// systems use LBP1Multi.
+		panic(fmt.Sprintf("policy: LBP1 requires 2 nodes, got %d (use LBP1Multi)", n))
+	}
+	sender := l.Sender
+	if sender == AutoSender {
+		sender = 0
+		if s.Queues[1] > s.Queues[0] {
+			sender = 1
+		}
+	}
+	if sender != 0 && sender != 1 {
+		panic(fmt.Sprintf("policy: LBP1 invalid sender %d", sender))
+	}
+	tasks := roundGain(l.K, s.Queues[sender])
+	if tasks == 0 {
+		return nil
+	}
+	return []model.Transfer{{From: sender, To: 1 - sender, Tasks: tasks}}
+}
+
+// OnFailure implements Policy; LBP-1 never reacts to failures.
+func (LBP1) OnFailure(int, model.State, model.Params) []model.Transfer { return nil }
+
+// LBP1Multi generalises the preemptive idea to N nodes (a documented
+// extension, not part of the paper): the target share of each node is
+// proportional to its *effective* rate λd·availability — exactly the
+// quantity LBP-1's optimisation discounts for two nodes — and every
+// overloaded node ships gain-scaled excess to the underloaded ones in a
+// single initial round.
+type LBP1Multi struct {
+	K float64
+}
+
+// Name implements Policy.
+func (l LBP1Multi) Name() string { return fmt.Sprintf("LBP-1-multi(K=%.2f)", l.K) }
+
+// Initial implements Policy.
+func (l LBP1Multi) Initial(s model.State, p model.Params) []model.Transfer {
+	return proportionalRebalance(s, p, l.K, true)
+}
+
+// OnFailure implements Policy.
+func (LBP1Multi) OnFailure(int, model.State, model.Params) []model.Transfer { return nil }
+
+// LBP2 is the on-failure policy of Section 2.2: a failure-agnostic initial
+// balance (speed-weighted excess, eqs. 6–7, gain K optimised under the
+// no-failure model) plus a fixed-size compensating transfer from the
+// failing node's backup at every failure instant (eq. 8).
+type LBP2 struct {
+	// K is the initial load-balancing gain in [0, 1].
+	K float64
+	// SpeedBlind replicates the authors' earlier excess definition that
+	// ignored processing speeds (ablation).
+	SpeedBlind bool
+	// AvailabilityBlind drops the λr/(λf+λr) steady-state weighting from
+	// the on-failure transfer size (ablation of eq. 8).
+	AvailabilityBlind bool
+}
+
+// Name implements Policy.
+func (l LBP2) Name() string {
+	suffix := ""
+	if l.SpeedBlind {
+		suffix += ",speed-blind"
+	}
+	if l.AvailabilityBlind {
+		suffix += ",avail-blind"
+	}
+	return fmt.Sprintf("LBP-2(K=%.2f%s)", l.K, suffix)
+}
+
+// ExcessLoad returns eq. (6)'s excess for node j: the positive part of the
+// queue beyond the node's speed-weighted share of the total workload.
+func (l LBP2) ExcessLoad(j int, s model.State, p model.Params) int {
+	total := s.TotalQueued()
+	share := p.ProcRate[j] / p.TotalProcRate()
+	if l.SpeedBlind {
+		share = 1 / float64(p.N())
+	}
+	excess := float64(s.Queues[j]) - share*float64(total)
+	if excess <= 0 {
+		return 0
+	}
+	return int(excess) // the paper floors to whole tasks
+}
+
+// PartitionFraction returns p_ij of eq. (6): the fraction of node j's
+// excess that is shipped to node i. The fractions over i ≠ j sum to one.
+func (l LBP2) PartitionFraction(i, j int, s model.State, p model.Params) float64 {
+	n := p.N()
+	if i == j {
+		return 0
+	}
+	if n == 2 {
+		return 1
+	}
+	// Σ_{l≠j} m_l/λd_l: total expected drain time of the receivers.
+	var denom float64
+	for k := 0; k < n; k++ {
+		if k == j {
+			continue
+		}
+		denom += float64(s.Queues[k]) / p.ProcRate[k]
+	}
+	if denom == 0 {
+		// Every receiver is empty; split evenly.
+		return 1 / float64(n-1)
+	}
+	return (1 - (float64(s.Queues[i])/p.ProcRate[i])/denom) / float64(n-2)
+}
+
+// Initial implements Policy: eq. (7), L_ij = K·p_ij·excess_j for every
+// overloaded node j.
+func (l LBP2) Initial(s model.State, p model.Params) []model.Transfer {
+	var out []model.Transfer
+	n := p.N()
+	for j := 0; j < n; j++ {
+		excess := l.ExcessLoad(j, s, p)
+		if excess == 0 {
+			continue
+		}
+		sent := 0
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			tasks := int(math.Round(l.K * l.PartitionFraction(i, j, s, p) * float64(excess)))
+			if tasks <= 0 {
+				continue
+			}
+			if sent+tasks > s.Queues[j] {
+				tasks = s.Queues[j] - sent
+			}
+			if tasks <= 0 {
+				break
+			}
+			sent += tasks
+			out = append(out, model.Transfer{From: j, To: i, Tasks: tasks})
+		}
+	}
+	return out
+}
+
+// FailureTransferSize returns eq. (8)'s LF_ij: the number of tasks the
+// failing node j sends to node i at a failure instant —
+// ⌊ availability_i · (λd_i/Σλd) · (λd_j/λr_j) ⌋, the expected backlog
+// accumulated during j's recovery, split by processing speed and
+// discounted by the receiver's own availability.
+func (l LBP2) FailureTransferSize(i, j int, p model.Params) int {
+	if i == j || p.RecRate[j] == 0 {
+		return 0
+	}
+	avail := p.Availability(i)
+	if l.AvailabilityBlind {
+		avail = 1
+	}
+	backlog := p.ProcRate[j] / p.RecRate[j]
+	share := p.ProcRate[i] / p.TotalProcRate()
+	return int(math.Floor(avail * share * backlog))
+}
+
+// OnFailure implements Policy: the failing node's backup sends LF_ij tasks
+// to every peer, never exceeding what remains queued.
+func (l LBP2) OnFailure(failed int, s model.State, p model.Params) []model.Transfer {
+	var out []model.Transfer
+	remaining := s.Queues[failed]
+	for i := 0; i < p.N() && remaining > 0; i++ {
+		if i == failed {
+			continue
+		}
+		tasks := l.FailureTransferSize(i, failed, p)
+		if tasks > remaining {
+			tasks = remaining
+		}
+		if tasks <= 0 {
+			continue
+		}
+		remaining -= tasks
+		out = append(out, model.Transfer{From: failed, To: i, Tasks: tasks})
+	}
+	return out
+}
+
+// Dynamic wraps a base policy and re-runs its initial balancing step at
+// every external-arrival instant — the simplified dynamic scheme proposed
+// in the paper's conclusion ("execute load-balancing episodes at every
+// external arrival of new workloads").
+type Dynamic struct {
+	Base Policy
+}
+
+// Name implements Policy.
+func (d Dynamic) Name() string { return "dynamic(" + d.Base.Name() + ")" }
+
+// Initial implements Policy.
+func (d Dynamic) Initial(s model.State, p model.Params) []model.Transfer {
+	return d.Base.Initial(s, p)
+}
+
+// OnFailure implements Policy.
+func (d Dynamic) OnFailure(failed int, s model.State, p model.Params) []model.Transfer {
+	return d.Base.OnFailure(failed, s, p)
+}
+
+// OnArrival implements ArrivalBalancer by replaying the base policy's
+// initial balance against the current snapshot.
+func (d Dynamic) OnArrival(_ int, s model.State, p model.Params) []model.Transfer {
+	return d.Base.Initial(s, p)
+}
+
+// proportionalRebalance ships gain-scaled excess (relative to weighted
+// shares) from overloaded to underloaded nodes. Weights are effective
+// rates when failureAware, raw rates otherwise.
+func proportionalRebalance(s model.State, p model.Params, k float64, failureAware bool) []model.Transfer {
+	n := p.N()
+	total := s.TotalQueued()
+	weights := make([]float64, n)
+	var wsum float64
+	for i := 0; i < n; i++ {
+		if failureAware {
+			weights[i] = p.EffectiveRate(i)
+		} else {
+			weights[i] = p.ProcRate[i]
+		}
+		wsum += weights[i]
+	}
+	type deficitNode struct {
+		id     int
+		amount float64
+	}
+	var surplus []model.Transfer
+	var deficits []deficitNode
+	excesses := make([]int, n)
+	for i := 0; i < n; i++ {
+		target := weights[i] / wsum * float64(total)
+		diff := float64(s.Queues[i]) - target
+		if diff >= 1 {
+			excesses[i] = int(math.Floor(k * diff))
+		} else if diff <= -1 {
+			deficits = append(deficits, deficitNode{id: i, amount: -diff})
+		}
+	}
+	var deficitTotal float64
+	for _, d := range deficits {
+		deficitTotal += d.amount
+	}
+	if deficitTotal == 0 {
+		return nil
+	}
+	for j := 0; j < n; j++ {
+		if excesses[j] == 0 {
+			continue
+		}
+		remaining := excesses[j]
+		if remaining > s.Queues[j] {
+			remaining = s.Queues[j]
+		}
+		for _, d := range deficits {
+			tasks := int(math.Round(float64(excesses[j]) * d.amount / deficitTotal))
+			if tasks > remaining {
+				tasks = remaining
+			}
+			if tasks <= 0 {
+				continue
+			}
+			remaining -= tasks
+			surplus = append(surplus, model.Transfer{From: j, To: d.id, Tasks: tasks})
+		}
+	}
+	return surplus
+}
+
+func roundGain(k float64, m int) int {
+	if k <= 0 || m <= 0 {
+		return 0
+	}
+	l := int(math.Round(k * float64(m)))
+	if l > m {
+		l = m
+	}
+	return l
+}

@@ -1,0 +1,224 @@
+// Package report renders experiment results: aligned text tables for the
+// terminal, CSV files for downstream plotting, and compact ASCII line
+// plots so every "figure" of the paper has a visual counterpart without
+// leaving the terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (minimal quoting: cells containing
+// commas or quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named sampled curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// WriteSeriesCSV writes curves in long format (series,x,y) so curves with
+// different grids coexist in one file.
+func WriteSeriesCSV(w io.Writer, series ...Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SaveCSV writes a file under dir, creating dir as needed, and returns
+// the full path.
+func SaveCSV(dir, name string, write func(io.Writer) error) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// plotGlyphs distinguishes up to six overlaid series.
+var plotGlyphs = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// AsciiPlot renders the series on a width×height character grid with a
+// simple framed axis — enough to see the shape of every reproduced
+// figure in the terminal.
+func AsciiPlot(width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(empty plot)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.X {
+			cx := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			cy := int(float64(height-1) * (s.Y[i] - minY) / (maxY - minY))
+			row := height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.4g ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.4g └%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s  %-10.4g%*.4g\n", "", minX, width-10, maxX)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", plotGlyphs[si%len(plotGlyphs)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fmt.Sprint(v)
+	}
+	switch {
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.2e", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tbl := Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("short", "1.00")
+	tbl.AddRow("a-much-longer-name", "22.50")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Fatalf("title missing: %q", lines[0])
+	}
+	// The value column must start at the same offset in every data row.
+	iHeader := strings.Index(lines[1], "value")
+	iRow := strings.Index(lines[4], "22.50")
+	if iHeader != iRow {
+		t.Fatalf("misaligned columns: header at %d, row at %d\n%s", iHeader, iRow, out)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tbl := Table{Headers: []string{"a", "b"}}
+	tbl.AddRow(`plain`, `has,comma`)
+	tbl.AddRow(`has"quote`, "x")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteSeriesCSV(&b,
+		Series{Name: "s1", X: []float64{0, 1}, Y: []float64{2, 3}},
+		Series{Name: "s2", X: []float64{5}, Y: []float64{6}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "series,x,y\ns1,0,2\ns1,1,3\ns2,5,6\n"
+	if b.String() != want {
+		t.Fatalf("got %q want %q", b.String(), want)
+	}
+}
+
+func TestWriteSeriesCSVRagged(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, Series{Name: "bad", X: []float64{1}, Y: nil}); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	path, err := SaveCSV(dir, "x.csv", func(w io.Writer) error {
+		_, err := w.Write([]byte("a,b\n"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "x.csv") {
+		t.Fatalf("path %q", path)
+	}
+}
+
+func TestAsciiPlotContainsGlyphsAndLegend(t *testing.T) {
+	s1 := Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}}
+	s2 := Series{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}}
+	out := AsciiPlot(40, 10, s1, s2)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEmptyAndDegenerate(t *testing.T) {
+	if out := AsciiPlot(40, 10); !strings.Contains(out, "empty") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+	// Constant series must not divide by zero.
+	out := AsciiPlot(40, 10, Series{Name: "c", X: []float64{1, 1}, Y: []float64{3, 3}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestFFormatting(t *testing.T) {
+	cases := map[float64]string{
+		117.123: "117.12",
+		0.001:   "1.00e-03",
+		2500:    "2500",
+		0:       "0.00",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Fatalf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package sim is the exact stochastic simulator of the churn model: an
+// event-driven realisation of the continuous-time process analysed in
+// internal/markov, generalised to N nodes and arbitrary policies. One call
+// to Run produces one realisation; internal/mc aggregates replications.
+//
+// The simulator reproduces the semantics of the paper's model precisely:
+//
+//   - node i processes tasks one at a time at rate λd_i while up;
+//   - node i fails at rate λf_i while up; a failure freezes its queue (the
+//     backup preserves tasks) and may trigger the policy's on-failure
+//     transfers; recovery occurs at rate λr_i;
+//   - a transfer of L tasks leaves the sender immediately and arrives at
+//     the receiver after a random delay: Exp(1/(δ·L)) in TransferBundle
+//     mode (the analytical model) or a sum of L Exp(1/δ) stages in
+//     TransferPerTask mode (closer to the physical network);
+//   - the run completes when every queue is empty and nothing is in
+//     flight.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"churnlb/internal/des"
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/xrand"
+)
+
+// TransferMode selects how transfer delays are drawn.
+type TransferMode int
+
+const (
+	// TransferBundle draws one exponential delay for the whole bundle with
+	// mean δ·L — the paper's analytical assumption.
+	TransferBundle TransferMode = iota
+	// TransferPerTask draws the delay as a sum of L exponential stages of
+	// mean δ, matching the empirically linear mean with lower variance.
+	TransferPerTask
+)
+
+// ChurnLaw selects the distribution of failure and recovery times. The
+// analytical model assumes exponential laws; the alternatives probe
+// robustness of the conclusions (an extension beyond the paper).
+type ChurnLaw int
+
+const (
+	// ChurnExponential is the paper's memoryless law.
+	ChurnExponential ChurnLaw = iota
+	// ChurnWeibull uses Weibull laws with shape 2 (aging nodes) and the
+	// same means as the exponential fit.
+	ChurnWeibull
+	// ChurnDeterministic uses fixed failure/recovery intervals equal to
+	// the means.
+	ChurnDeterministic
+)
+
+// EventKind labels trace entries; aliased from the shared model package.
+type EventKind = model.EventKind
+
+// Trace event kinds, re-exported for convenience.
+const (
+	EvStart      = model.EvStart
+	EvCompletion = model.EvCompletion
+	EvFailure    = model.EvFailure
+	EvRecovery   = model.EvRecovery
+	EvSend       = model.EvSend
+	EvArrival    = model.EvArrival
+	EvExternal   = model.EvExternal
+	EvDone       = model.EvDone
+)
+
+// TracePoint records the queue vector after an event.
+type TracePoint = model.TracePoint
+
+// Options configures a single realisation.
+type Options struct {
+	Params model.Params
+	Policy policy.Policy
+	// InitialLoad holds the number of tasks queued at each node at t = 0.
+	InitialLoad []int
+	// InitialUp marks which nodes start in the working state; nil means
+	// all up (the paper's experiments always start with all nodes up).
+	InitialUp []bool
+	// Rand supplies all randomness; required.
+	Rand *xrand.Rand
+	// TransferMode selects the delay law for transfers.
+	TransferMode TransferMode
+	// ChurnLaw selects the failure/recovery law.
+	ChurnLaw ChurnLaw
+	// Trace, when true, records a TracePoint per event (Fig. 4).
+	Trace bool
+	// MaxTime aborts a runaway realisation; 0 means no limit.
+	MaxTime float64
+	// ArrivalRate, if positive, injects external workload as a Poisson
+	// process (the dynamic extension). Each arrival adds ArrivalBatch
+	// tasks to a uniformly random node. The run then completes when the
+	// backlog drains after ArrivalHorizon (no arrivals beyond it).
+	ArrivalRate    float64
+	ArrivalBatch   int
+	ArrivalHorizon float64
+}
+
+// Result reports one realisation.
+type Result struct {
+	// CompletionTime is the overall completion time of the workload.
+	CompletionTime float64
+	// Processed counts tasks executed per node.
+	Processed []int
+	// Failures, Recoveries count churn events up to completion.
+	Failures, Recoveries int
+	// TransfersSent counts transfer bundles; TasksTransferred the tasks
+	// inside them (including initial balancing).
+	TransfersSent, TasksTransferred int
+	// ExternalArrivals counts injected tasks (dynamic extension).
+	ExternalArrivals int
+	// Trace is non-nil when Options.Trace was set.
+	Trace []TracePoint
+}
+
+type simState struct {
+	opt       Options
+	p         model.Params
+	sched     *des.Scheduler
+	rng       *xrand.Rand
+	up        []bool
+	queues    []int
+	procEpoch []uint64
+	inFlight  int
+	processed []int
+	res       *Result
+	// drainTime records the instant the system last became empty; with
+	// external arrivals the final scheduler event may be a post-horizon
+	// arrival tick, so Now() can overshoot the true completion.
+	drainTime    float64
+	arrivalsOpen bool
+}
+
+// Run executes one realisation and returns its Result.
+func Run(opt Options) (*Result, error) {
+	if err := opt.Params.Validate(); err != nil {
+		return nil, err
+	}
+	n := opt.Params.N()
+	if len(opt.InitialLoad) != n {
+		return nil, fmt.Errorf("sim: InitialLoad has %d entries for %d nodes", len(opt.InitialLoad), n)
+	}
+	for i, q := range opt.InitialLoad {
+		if q < 0 {
+			return nil, fmt.Errorf("sim: negative initial load %d at node %d", q, i)
+		}
+	}
+	if opt.InitialUp != nil && len(opt.InitialUp) != n {
+		return nil, fmt.Errorf("sim: InitialUp has %d entries for %d nodes", len(opt.InitialUp), n)
+	}
+	if opt.Rand == nil {
+		return nil, fmt.Errorf("sim: Options.Rand is required for reproducibility")
+	}
+	if opt.Policy == nil {
+		opt.Policy = policy.NoBalance{}
+	}
+	if opt.ArrivalRate > 0 && opt.ArrivalHorizon <= 0 {
+		return nil, fmt.Errorf("sim: ArrivalRate needs a positive ArrivalHorizon")
+	}
+
+	s := &simState{
+		opt:       opt,
+		p:         opt.Params,
+		sched:     des.New(),
+		rng:       opt.Rand,
+		up:        make([]bool, n),
+		queues:    append([]int(nil), opt.InitialLoad...),
+		procEpoch: make([]uint64, n),
+		processed: make([]int, n),
+		res:       &Result{Processed: make([]int, n)},
+	}
+	for i := range s.up {
+		s.up[i] = opt.InitialUp == nil || opt.InitialUp[i]
+	}
+	s.res.Processed = s.processed
+	s.trace(EvStart, -1)
+
+	// Initial balancing.
+	s.applyTransfers(opt.Policy.Initial(s.snapshot(), s.p))
+
+	// Arm per-node processes.
+	for i := 0; i < n; i++ {
+		if s.up[i] {
+			s.scheduleCompletion(i)
+			s.scheduleFailure(i)
+		} else {
+			s.scheduleRecovery(i)
+		}
+	}
+	if opt.ArrivalRate > 0 {
+		s.arrivalsOpen = true
+		s.scheduleArrival()
+	}
+
+	done := func() bool {
+		if s.remaining() == 0 && !s.pendingArrivals() {
+			return true
+		}
+		return opt.MaxTime > 0 && s.sched.Now() >= opt.MaxTime
+	}
+	s.sched.RunUntil(done)
+	if opt.MaxTime > 0 && s.remaining() > 0 {
+		return nil, fmt.Errorf("sim: aborted at MaxTime=%v with %d tasks remaining", opt.MaxTime, s.remaining())
+	}
+	s.res.CompletionTime = s.drainTime
+	s.trace(EvDone, -1)
+	return s.res, nil
+}
+
+func (s *simState) remaining() int {
+	t := s.inFlight
+	for _, q := range s.queues {
+		t += q
+	}
+	return t
+}
+
+func (s *simState) pendingArrivals() bool {
+	return s.arrivalsOpen && s.sched.Now() < s.opt.ArrivalHorizon
+}
+
+func (s *simState) snapshot() model.State {
+	return model.State{
+		Time:          s.sched.Now(),
+		Queues:        append([]int(nil), s.queues...),
+		Up:            append([]bool(nil), s.up...),
+		InFlightTasks: s.inFlight,
+	}
+}
+
+func (s *simState) trace(kind EventKind, node int) {
+	if !s.opt.Trace {
+		return
+	}
+	s.res.Trace = append(s.res.Trace, TracePoint{
+		Time:   s.sched.Now(),
+		Kind:   kind,
+		Node:   node,
+		Queues: append([]int(nil), s.queues...),
+	})
+}
+
+// --- task processing ---
+
+func (s *simState) scheduleCompletion(i int) {
+	if !s.up[i] || s.queues[i] == 0 {
+		return
+	}
+	s.procEpoch[i]++
+	epoch := s.procEpoch[i]
+	d := s.rng.Exp(s.p.ProcRate[i])
+	s.sched.After(d, func() {
+		if s.procEpoch[i] != epoch || !s.up[i] || s.queues[i] == 0 {
+			return // stale: the node failed or the queue changed hands
+		}
+		s.queues[i]--
+		s.processed[i]++
+		if s.remaining() == 0 {
+			s.drainTime = s.sched.Now()
+		}
+		s.trace(EvCompletion, i)
+		s.scheduleCompletion(i)
+	})
+}
+
+// --- churn ---
+
+func (s *simState) churnSample(mean float64) float64 {
+	switch s.opt.ChurnLaw {
+	case ChurnWeibull:
+		// Shape 2, scale chosen so the mean matches: scale = mean/Γ(1.5).
+		return s.rng.Weibull(2, mean/math.Gamma(1.5))
+	case ChurnDeterministic:
+		return mean
+	default:
+		return s.rng.ExpMean(mean)
+	}
+}
+
+func (s *simState) scheduleFailure(i int) {
+	if s.p.FailRate[i] == 0 {
+		return
+	}
+	d := s.churnSample(1 / s.p.FailRate[i])
+	s.sched.After(d, func() {
+		if !s.up[i] {
+			return // already down via some other path
+		}
+		s.up[i] = false
+		s.procEpoch[i]++ // invalidate the outstanding completion
+		s.res.Failures++
+		s.trace(EvFailure, i)
+		s.applyTransfers(s.opt.Policy.OnFailure(i, s.snapshot(), s.p))
+		s.scheduleRecovery(i)
+	})
+}
+
+func (s *simState) scheduleRecovery(i int) {
+	if s.p.RecRate[i] == 0 {
+		return // permanently down; Validate guarantees no tasks strand here
+	}
+	d := s.churnSample(1 / s.p.RecRate[i])
+	s.sched.After(d, func() {
+		if s.up[i] {
+			return
+		}
+		s.up[i] = true
+		s.res.Recoveries++
+		s.trace(EvRecovery, i)
+		s.scheduleCompletion(i)
+		s.scheduleFailure(i)
+	})
+}
+
+// --- transfers ---
+
+func (s *simState) applyTransfers(ts []model.Transfer) {
+	for _, tr := range ts {
+		s.send(tr)
+	}
+}
+
+func (s *simState) send(tr model.Transfer) {
+	if tr.Tasks <= 0 {
+		return
+	}
+	if tr.From < 0 || tr.From >= len(s.queues) || tr.To < 0 || tr.To >= len(s.queues) || tr.From == tr.To {
+		panic(fmt.Sprintf("sim: invalid transfer %+v", tr))
+	}
+	if tr.Tasks > s.queues[tr.From] {
+		tr.Tasks = s.queues[tr.From] // policies may race with processing
+	}
+	if tr.Tasks == 0 {
+		return
+	}
+	s.queues[tr.From] -= tr.Tasks
+	s.procEpoch[tr.From]++ // the task being processed may have been shipped
+	s.scheduleCompletion(tr.From)
+	s.inFlight += tr.Tasks
+	s.res.TransfersSent++
+	s.res.TasksTransferred += tr.Tasks
+	s.trace(EvSend, tr.From)
+
+	delay := s.transferDelay(tr.Tasks)
+	to := tr.To
+	tasks := tr.Tasks
+	s.sched.After(delay, func() {
+		s.inFlight -= tasks
+		s.queues[to] += tasks
+		s.trace(EvArrival, to)
+		if s.up[to] {
+			// A previously empty queue needs its completion process
+			// re-armed; a busy one keeps its outstanding timer (the
+			// service law is memoryless, and for non-exponential laws
+			// the approximation only affects one in-service task).
+			if s.queues[to] == tasks {
+				s.scheduleCompletion(to)
+			}
+		}
+	})
+}
+
+func (s *simState) transferDelay(tasks int) float64 {
+	if s.p.DelayPerTask == 0 {
+		return 0
+	}
+	switch s.opt.TransferMode {
+	case TransferPerTask:
+		d := 0.0
+		for t := 0; t < tasks; t++ {
+			d += s.rng.ExpMean(s.p.DelayPerTask)
+		}
+		return d
+	default:
+		return s.rng.ExpMean(s.p.DelayPerTask * float64(tasks))
+	}
+}
+
+// --- external arrivals (dynamic extension) ---
+
+func (s *simState) scheduleArrival() {
+	d := s.rng.Exp(s.opt.ArrivalRate)
+	s.sched.After(d, func() {
+		if s.sched.Now() >= s.opt.ArrivalHorizon {
+			s.arrivalsOpen = false
+			return
+		}
+		node := s.rng.Intn(s.p.N())
+		batch := s.opt.ArrivalBatch
+		if batch <= 0 {
+			batch = 1
+		}
+		s.queues[node] += batch
+		s.res.ExternalArrivals += batch
+		s.trace(EvExternal, node)
+		if s.up[node] && s.queues[node] == batch {
+			s.scheduleCompletion(node)
+		}
+		if ab, ok := s.opt.Policy.(policy.ArrivalBalancer); ok {
+			s.applyTransfers(ab.OnArrival(node, s.snapshot(), s.p))
+		}
+		s.scheduleArrival()
+	})
+}

@@ -1,0 +1,278 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"churnlb/internal/xrand"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordMatchesTwoPassProperty(t *testing.T) {
+	f := func(seed uint16, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		rng := xrand.NewStream(uint64(seed), 3)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.Float64()*1000 - 500
+			w.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		variance := varSum / float64(n-1)
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Var()-variance) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95KnownTValues(t *testing.T) {
+	// df=1 -> 12.706, df=30+ -> approx z.
+	if v := tQuantile975(1); math.Abs(v-12.706) > 1e-9 {
+		t.Fatalf("t(1) = %v", v)
+	}
+	if v := tQuantile975(1000); math.Abs(v-1.9623) > 0.001 {
+		t.Fatalf("t(1000) = %v, want ~1.962", v)
+	}
+	if v := tQuantile975(40); math.Abs(v-2.0211) > 0.002 {
+		t.Fatalf("t(40) = %v, want ~2.021", v)
+	}
+}
+
+func TestSummaryCoversTrueMean(t *testing.T) {
+	// CI95 from n=10000 exponential samples should cover the true mean.
+	rng := xrand.New(21)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.ExpMean(7.5)
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Mean-7.5) > 3*s.CI95 {
+		t.Fatalf("summary %v does not cover mean 7.5", s)
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	rng := xrand.New(22)
+	h := NewHistogram(0, 10, 50)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Add(rng.Float64() * 10)
+	}
+	sum := 0.0
+	for _, d := range h.Density() {
+		sum += d * h.BinWidth()
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("density integral = %v", sum)
+	}
+	if h.Underflow != 0 || h.Overflow != 0 {
+		t.Fatalf("unexpected out-of-range counts %d/%d", h.Underflow, h.Overflow)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-0.5)
+	h.Add(1.5)
+	h.Add(0.5)
+	if h.Underflow != 1 || h.Overflow != 1 || h.N != 3 {
+		t.Fatalf("under=%d over=%d n=%d", h.Underflow, h.Overflow, h.N)
+	}
+}
+
+func TestHistogramBinCenters(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if h.BinCenter(0) != 0.5 || h.BinCenter(9) != 9.5 {
+		t.Fatalf("bin centers wrong: %v %v", h.BinCenter(0), h.BinCenter(9))
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func TestECDFQuantileMonotone(t *testing.T) {
+	rng := xrand.New(30)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Normal()
+	}
+	e := NewECDF(xs)
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := e.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}
+
+func TestFitExponentialRecoversRate(t *testing.T) {
+	rng := xrand.New(23)
+	const rate = 1.86
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.Exp(rate)
+	}
+	fit, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Rate-rate) > 0.03 {
+		t.Fatalf("fitted rate %v, want %v", fit.Rate, rate)
+	}
+	if fit.KS > 0.01 {
+		t.Fatalf("KS distance %v too large for a true exponential", fit.KS)
+	}
+}
+
+func TestFitExponentialRejectsBadFit(t *testing.T) {
+	// Uniform data is not exponential: KS should be clearly larger than
+	// for genuine exponential data.
+	rng := xrand.New(24)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.Float64() // uniform [0,1)
+	}
+	fit, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.KS < 0.05 {
+		t.Fatalf("KS = %v: uniform data should not look exponential", fit.KS)
+	}
+}
+
+func TestFitExponentialErrors(t *testing.T) {
+	if _, err := FitExponential(nil); err == nil {
+		t.Fatal("empty fit should error")
+	}
+	if _, err := FitExponential([]float64{-1, 2}); err == nil {
+		t.Fatal("negative samples should error")
+	}
+	if _, err := FitExponential([]float64{0, 0}); err == nil {
+		t.Fatal("zero-mean samples should error")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	rng := xrand.New(25)
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%100) + 1
+		ys[i] = 0.02*xs[i] + 0.1*rng.Normal()
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.02) > 0.002 {
+		t.Fatalf("slope = %v, want ~0.02", fit.Slope)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("length-1 fit should error")
+	}
+	if _, err := FitLinear([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("constant-x fit should error")
+	}
+}
+
+func TestKSDistanceIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KSDistance(xs, xs); d > 1e-12 {
+		t.Fatalf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSDistanceSameDistribution(t *testing.T) {
+	rng := xrand.New(26)
+	a := make([]float64, 5000)
+	b := make([]float64, 5000)
+	for i := range a {
+		a[i] = rng.Exp(2)
+		b[i] = rng.Exp(2)
+	}
+	if d := KSDistance(a, b); d > 0.05 {
+		t.Fatalf("KS = %v for same-distribution samples", d)
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean([1 2 3]) != 2")
+	}
+}
