@@ -15,6 +15,7 @@ import (
 	"churnlb/internal/mc"
 	"churnlb/internal/model"
 	"churnlb/internal/policy"
+	"churnlb/internal/scenario"
 	"churnlb/internal/sim"
 	"churnlb/internal/xrand"
 )
@@ -103,6 +104,64 @@ func BenchmarkSimRealization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rng := xrand.NewStream(1, uint64(i))
 		if _, err := sim.Run(sim.Options{Params: p, Policy: policy.LBP2{K: 1}, InitialLoad: []int{100, 60}, Rand: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- large-cluster scale benchmarks ---
+//
+// These exist to keep the event loop honest: one realisation must stay
+// linear in the event count (no O(n)-per-event scans), so the per-task
+// cost at N=1000 must stay in the same ballpark as at N=100.
+
+// benchScenario times one exact realisation per iteration of a generated
+// scenario under LBP-2.
+func benchScenario(b *testing.B, kind scenario.Kind, n, totalLoad int) {
+	sc, err := scenario.Generate(scenario.Spec{Kind: kind, N: n, TotalLoad: totalLoad, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := policy.LBP2{K: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := xrand.NewStream(1, uint64(i))
+		res, err := sim.Run(sc.Options(pol, rng))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CompletionTime <= 0 {
+			b.Fatal("realisation did not run")
+		}
+	}
+	b.ReportMetric(float64(totalLoad), "tasks/op")
+}
+
+// BenchmarkSimN100 times a 100-node, 10⁴-task hotspot realisation.
+func BenchmarkSimN100(b *testing.B) { benchScenario(b, scenario.Hotspot, 100, 10_000) }
+
+// BenchmarkSimN1000 times a 1000-node, 10⁵-task hotspot realisation —
+// the acceptance bar for the O(1)-accounting event loop.
+func BenchmarkSimN1000(b *testing.B) { benchScenario(b, scenario.Hotspot, 1000, 100_000) }
+
+// BenchmarkMonteCarloN100 times a parallel 100-replication estimate of
+// the 100-node uniform scenario.
+func BenchmarkMonteCarloN100(b *testing.B) {
+	sc, err := scenario.Generate(scenario.Spec{Kind: scenario.Uniform, N: 100, TotalLoad: 10_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := policy.LBP2{K: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := mc.Run(mc.Options{Reps: 100, Seed: uint64(i)}, func(r *xrand.Rand, rep int) (float64, error) {
+			out, err := sim.Run(sc.Options(pol, r))
+			if err != nil {
+				return 0, err
+			}
+			return out.CompletionTime, nil
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

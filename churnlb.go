@@ -14,7 +14,13 @@
 //     reactive LBP-2 (failure-agnostic initial balance plus compensating
 //     transfers at every failure instant);
 //   - an exact Monte-Carlo simulator of the same stochastic model for
-//     arbitrary node counts and policies;
+//     arbitrary node counts and policies, with an event loop doing O(1)
+//     work per event so thousand-node clusters stay cheap;
+//   - a scenario engine (internal/scenario) generating large
+//     heterogeneous clusters — uniform, hotspot, correlated-failure and
+//     flash-crowd — that extend the paper's two-node experiments to
+//     production scale (see cmd/lbsim -scenario and the "scale"
+//     experiment);
 //   - a concurrent testbed that executes the paper's three-layer system
 //     architecture with goroutine CEs and (optionally) real UDP/TCP
 //     loopback communication.

@@ -9,28 +9,39 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"churnlb"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lbbed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		m0     = flag.Int("m0", 100, "initial tasks at node 0")
-		m1     = flag.Int("m1", 60, "initial tasks at node 1")
-		polStr = flag.String("policy", "lbp2", "policy: lbp1, lbp2, none")
-		k      = flag.Float64("k", 1.0, "LB gain")
-		sender = flag.Int("sender", 0, "LBP-1 sender")
-		scale  = flag.Float64("scale", 1000, "virtual seconds per wall second")
-		useNet = flag.Bool("net", false, "use real loopback UDP/TCP sockets")
-		real   = flag.Bool("real", false, "execute the matrix arithmetic for every task")
-		trace  = flag.Bool("trace", false, "print the queue-evolution trace")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		m0     = fs.Int("m0", 100, "initial tasks at node 0")
+		m1     = fs.Int("m1", 60, "initial tasks at node 1")
+		polStr = fs.String("policy", "lbp2", "policy: lbp1, lbp2, none")
+		k      = fs.Float64("k", 1.0, "LB gain")
+		sender = fs.Int("sender", 0, "LBP-1 sender")
+		scale  = fs.Float64("scale", 1000, "virtual seconds per wall second")
+		useNet = fs.Bool("net", false, "use real loopback UDP/TCP sockets")
+		real   = fs.Bool("real", false, "execute the matrix arithmetic for every task")
+		trace  = fs.Bool("trace", false, "print the queue-evolution trace")
+		seed   = fs.Uint64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var spec churnlb.PolicySpec
 	switch *polStr {
@@ -41,8 +52,8 @@ func main() {
 	case "none":
 		spec = churnlb.PolicySpec{Kind: churnlb.PolicyNone}
 	default:
-		fmt.Fprintf(os.Stderr, "lbbed: unknown policy %q\n", *polStr)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "lbbed: unknown policy %q\n", *polStr)
+		return 2
 	}
 
 	start := time.Now()
@@ -53,21 +64,22 @@ func main() {
 		Trace:       *trace,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbbed:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "lbbed:", err)
+		return 1
 	}
 	transport := "channels"
 	if *useNet {
 		transport = "loopback UDP/TCP"
 	}
-	fmt.Printf("testbed (%s, scale %.0fx): completion %.2f virtual s in %.2f wall s\n",
+	fmt.Fprintf(stdout, "testbed (%s, scale %.0fx): completion %.2f virtual s in %.2f wall s\n",
 		transport, *scale, res.CompletionTime, time.Since(start).Seconds())
-	fmt.Printf("processed %v, failures %d, recoveries %d, transfers %d (%d tasks), state packets %d\n",
+	fmt.Fprintf(stdout, "processed %v, failures %d, recoveries %d, transfers %d (%d tasks), state packets %d\n",
 		res.Processed, res.Failures, res.Recoveries, res.TransfersSent, res.TasksTransferred, res.StatePackets)
 	if *trace {
-		fmt.Println("t_s,event,node,queues")
+		fmt.Fprintln(stdout, "t_s,event,node,queues")
 		for _, tp := range res.Trace {
-			fmt.Printf("%.3f,%s,%d,%v\n", tp.Time, tp.Event, tp.Node, tp.Queues)
+			fmt.Fprintf(stdout, "%.3f,%s,%d,%v\n", tp.Time, tp.Event, tp.Node, tp.Queues)
 		}
 	}
+	return 0
 }

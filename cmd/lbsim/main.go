@@ -1,35 +1,61 @@
 // Command lbsim runs Monte-Carlo studies of the churn model for the
-// paper's policies.
+// paper's policies — the paper's two-node workloads by default, or
+// generated large-cluster scenarios with -scenario.
 //
 // Examples:
 //
 //	lbsim -m0 100 -m1 60 -policy lbp1 -k 0.35 -reps 5000
 //	lbsim -m0 100 -m1 60 -policy lbp2 -k 1 -delta 3 -reps 5000
 //	lbsim -m0 100 -m1 60 -policy none -trace   # one traced realisation
+//	lbsim -scenario hotspot -nodes 200 -load 20000 -policy lbp2 -reps 200
+//	lbsim -scenario flashcrowd -nodes 1000 -load 100000 -policy lbp1 -reps 1
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"churnlb"
+	"churnlb/internal/mc"
+	"churnlb/internal/policy"
+	"churnlb/internal/scenario"
+	"churnlb/internal/sim"
+	"churnlb/internal/xrand"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lbsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		m0     = flag.Int("m0", 100, "initial tasks at node 0")
-		m1     = flag.Int("m1", 60, "initial tasks at node 1")
-		polStr = flag.String("policy", "lbp2", "policy: lbp1, lbp2, none, dynamic")
-		k      = flag.Float64("k", 1.0, "LB gain")
-		sender = flag.Int("sender", churnlb.AutoSender, "LBP-1 sender (-1 = auto)")
-		delta  = flag.Float64("delta", 0.02, "mean transfer delay per task (s)")
-		noFail = flag.Bool("nofail", false, "zero the failure rates")
-		reps   = flag.Int("reps", 5000, "Monte-Carlo replications")
-		seed   = flag.Uint64("seed", 1, "root seed")
-		trace  = flag.Bool("trace", false, "run a single traced realisation instead")
+		m0       = fs.Int("m0", 100, "initial tasks at node 0 (two-node mode)")
+		m1       = fs.Int("m1", 60, "initial tasks at node 1 (two-node mode)")
+		polStr   = fs.String("policy", "lbp2", "policy: lbp1, lbp2, none, dynamic")
+		k        = fs.Float64("k", 1.0, "LB gain")
+		sender   = fs.Int("sender", churnlb.AutoSender, "LBP-1 sender (-1 = auto)")
+		delta    = fs.Float64("delta", 0.02, "mean transfer delay per task (s)")
+		noFail   = fs.Bool("nofail", false, "zero the failure rates (two-node mode)")
+		reps     = fs.Int("reps", 5000, "Monte-Carlo replications")
+		seed     = fs.Uint64("seed", 1, "root seed")
+		trace    = fs.Bool("trace", false, "run a single traced realisation instead (two-node mode)")
+		scenStr  = fs.String("scenario", "", "large-cluster scenario: uniform, hotspot, correlated, flashcrowd")
+		nodes    = fs.Int("nodes", 100, "scenario node count")
+		loadFlag = fs.Int("load", 10000, "scenario total tasks")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *scenStr != "" {
+		return runScenario(stdout, stderr, *scenStr, *polStr, *nodes, *loadFlag, *reps, *seed, *k, *delta)
+	}
 
 	sys := churnlb.PaperSystem().WithDelay(*delta)
 	if *noFail {
@@ -46,31 +72,92 @@ func main() {
 	case "dynamic":
 		spec = churnlb.PolicySpec{Kind: churnlb.PolicyDynamicLBP2, K: *k}
 	default:
-		fmt.Fprintf(os.Stderr, "lbsim: unknown policy %q\n", *polStr)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "lbsim: unknown policy %q\n", *polStr)
+		return 2
 	}
 	load := []int{*m0, *m1}
 
 	if *trace {
 		res, err := churnlb.Simulate(sys, spec, load, *seed, churnlb.SimOptions{Trace: true})
-		die(err)
-		fmt.Printf("completion %.2f s, processed %v, failures %d, transfers %d (%d tasks)\n",
-			res.CompletionTime, res.Processed, res.Failures, res.TransfersSent, res.TasksTransferred)
-		fmt.Println("t_s,event,node,queues")
-		for _, tp := range res.Trace {
-			fmt.Printf("%.3f,%s,%d,%v\n", tp.Time, tp.Event, tp.Node, tp.Queues)
+		if err != nil {
+			fmt.Fprintln(stderr, "lbsim:", err)
+			return 1
 		}
-		return
+		fmt.Fprintf(stdout, "completion %.2f s, processed %v, failures %d, transfers %d (%d tasks)\n",
+			res.CompletionTime, res.Processed, res.Failures, res.TransfersSent, res.TasksTransferred)
+		fmt.Fprintln(stdout, "t_s,event,node,queues")
+		for _, tp := range res.Trace {
+			fmt.Fprintf(stdout, "%.3f,%s,%d,%v\n", tp.Time, tp.Event, tp.Node, tp.Queues)
+		}
+		return 0
 	}
 	est, err := churnlb.MonteCarlo(sys, spec, load, *reps, *seed)
-	die(err)
-	fmt.Printf("policy %s K=%.2f workload (%d,%d) δ=%.2fs: mean %.2f s ±%.2f (95%% CI, n=%d, σ=%.2f)\n",
+	if err != nil {
+		fmt.Fprintln(stderr, "lbsim:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "policy %s K=%.2f workload (%d,%d) δ=%.2fs: mean %.2f s ±%.2f (95%% CI, n=%d, σ=%.2f)\n",
 		*polStr, *k, *m0, *m1, *delta, est.Mean, est.CI95, est.N, est.Std)
+	return 0
 }
 
-func die(err error) {
+// runScenario runs a generated large-cluster scenario: a Monte-Carlo
+// study for reps > 1, a single summarised realisation for reps = 1.
+func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalLoad, reps int, seed uint64, k, delta float64) int {
+	kind, err := scenario.ParseKind(scenStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "lbsim:", err)
+		return 2
 	}
+	var pol policy.Policy
+	switch polStr {
+	case "lbp1":
+		pol = policy.LBP1Multi{K: k} // N-node generalisation of LBP-1
+	case "lbp2":
+		pol = policy.LBP2{K: k}
+	case "none":
+		pol = policy.NoBalance{}
+	case "dynamic":
+		pol = policy.Dynamic{Base: policy.LBP2{K: k}}
+	default:
+		fmt.Fprintf(stderr, "lbsim: unknown policy %q\n", polStr)
+		return 2
+	}
+	sc, err := scenario.Generate(scenario.Spec{
+		Kind:         kind,
+		N:            nodes,
+		TotalLoad:    totalLoad,
+		Seed:         seed,
+		DelayPerTask: delta,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "lbsim:", err)
+		return 2
+	}
+
+	if reps <= 1 {
+		res, err := sim.Run(sc.Options(pol, xrand.NewStream(seed, 0)))
+		if err != nil {
+			fmt.Fprintln(stderr, "lbsim:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "scenario %s policy %s: completion %.2f s, failures %d, recoveries %d, transfers %d (%d tasks), arrivals %d\n",
+			sc.Name, pol.Name(), res.CompletionTime, res.Failures, res.Recoveries,
+			res.TransfersSent, res.TasksTransferred, res.ExternalArrivals)
+		return 0
+	}
+	est, err := mc.Run(mc.Options{Reps: reps, Seed: seed}, func(r *xrand.Rand, rep int) (float64, error) {
+		out, err := sim.Run(sc.Options(pol, r))
+		if err != nil {
+			return 0, err
+		}
+		return out.CompletionTime, nil
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "lbsim:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "scenario %s policy %s (%d nodes, %d tasks): mean %.2f s ±%.2f (95%% CI, n=%d, σ=%.2f)\n",
+		sc.Name, pol.Name(), nodes, totalLoad, est.Mean, est.CI95, est.N, est.Std)
+	return 0
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBadFlagsRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-policy", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown policy: exit %d, want 2", code)
+	}
+	if code := run([]string{"-scenario", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scenario: exit %d, want 2", code)
+	}
+}
+
+func TestTwoNodeMonteCarlo(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-m0", "30", "-m1", "10", "-policy", "lbp2", "-reps", "50", "-seed", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "mean") {
+		t.Fatalf("missing estimate in output: %s", out.String())
+	}
+}
+
+func TestTracedRealisation(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-m0", "10", "-m1", "5", "-policy", "none", "-trace"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "t_s,event,node,queues") {
+		t.Fatalf("missing trace header: %s", out.String())
+	}
+}
+
+func TestScenarioSingleRealisation(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-scenario", "hotspot", "-nodes", "50", "-load", "1000", "-policy", "lbp2", "-reps", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "scenario hotspot-n50") {
+		t.Fatalf("missing scenario summary: %s", out.String())
+	}
+}
+
+func TestScenarioMonteCarlo(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-scenario", "uniform", "-nodes", "20", "-load", "400", "-policy", "lbp1", "-reps", "20"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "mean") {
+		t.Fatalf("missing estimate: %s", out.String())
+	}
+}

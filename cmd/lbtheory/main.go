@@ -12,64 +12,81 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"churnlb"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lbtheory", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		m0       = flag.Int("m0", 100, "initial tasks at node 0")
-		m1       = flag.Int("m1", 60, "initial tasks at node 1")
-		k        = flag.Float64("k", 0.35, "LB gain in [0,1]")
-		sender   = flag.Int("sender", 0, "sending node (0 or 1)")
-		delta    = flag.Float64("delta", 0.02, "mean transfer delay per task (s)")
-		noFail   = flag.Bool("nofail", false, "zero the failure rates")
-		optimize = flag.Bool("optimize", false, "search the optimal gain and sender")
-		sweep    = flag.Int("sweep", 0, "evaluate a gain grid with this many steps")
-		cdf      = flag.Bool("cdf", false, "print the completion-time CDF")
-		tMax     = flag.Float64("tmax", 300, "CDF horizon (s)")
-		dt       = flag.Float64("dt", 0.5, "CDF grid spacing (s)")
+		m0       = fs.Int("m0", 100, "initial tasks at node 0")
+		m1       = fs.Int("m1", 60, "initial tasks at node 1")
+		k        = fs.Float64("k", 0.35, "LB gain in [0,1]")
+		sender   = fs.Int("sender", 0, "sending node (0 or 1)")
+		delta    = fs.Float64("delta", 0.02, "mean transfer delay per task (s)")
+		noFail   = fs.Bool("nofail", false, "zero the failure rates")
+		optimize = fs.Bool("optimize", false, "search the optimal gain and sender")
+		sweep    = fs.Int("sweep", 0, "evaluate a gain grid with this many steps")
+		cdf      = fs.Bool("cdf", false, "print the completion-time CDF")
+		tMax     = fs.Float64("tmax", 300, "CDF horizon (s)")
+		dt       = fs.Float64("dt", 0.5, "CDF grid spacing (s)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	sys := churnlb.PaperSystem().WithDelay(*delta)
 	if *noFail {
 		sys = sys.NoFailure()
 	}
 
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "lbtheory:", err)
+		return 1
+	}
 	switch {
 	case *optimize:
 		opt, err := churnlb.OptimizeLBP1(sys, *m0, *m1)
-		die(err)
-		fmt.Printf("workload (%d,%d): optimal sender node %d, K* = %.2f (%d tasks), E[T] = %.2f s\n",
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "workload (%d,%d): optimal sender node %d, K* = %.2f (%d tasks), E[T] = %.2f s\n",
 			*m0, *m1, opt.Sender, opt.K, opt.Tasks, opt.Mean)
 	case *sweep > 0:
 		ks, means, err := churnlb.GainSweepLBP1(sys, *m0, *m1, *sender, *sweep)
-		die(err)
-		fmt.Println("K,mean_completion_s")
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, "K,mean_completion_s")
 		for i := range ks {
-			fmt.Printf("%.3f,%.3f\n", ks[i], means[i])
+			fmt.Fprintf(stdout, "%.3f,%.3f\n", ks[i], means[i])
 		}
 	case *cdf:
 		times, f, err := churnlb.CompletionCDF(sys, *m0, *m1, *sender, *k, *tMax, *dt)
-		die(err)
-		fmt.Println("t_s,F")
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, "t_s,F")
 		for i := range times {
-			fmt.Printf("%.3f,%.6f\n", times[i], f[i])
+			fmt.Fprintf(stdout, "%.3f,%.6f\n", times[i], f[i])
 		}
 	default:
 		mean, err := churnlb.MeanCompletionLBP1(sys, *m0, *m1, *sender, *k)
-		die(err)
-		fmt.Printf("workload (%d,%d), sender %d, K = %.2f: E[T] = %.2f s\n", *m0, *m1, *sender, *k, mean)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "workload (%d,%d), sender %d, K = %.2f: E[T] = %.2f s\n", *m0, *m1, *sender, *k, mean)
 	}
-}
-
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbtheory:", err)
-		os.Exit(1)
-	}
+	return 0
 }

@@ -12,30 +12,41 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"churnlb/internal/exp"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		out     = flag.String("out", "results", "directory for CSV artifacts ('' disables)")
-		quick   = flag.Bool("quick", false, "reduced replication counts")
-		testbed = flag.Bool("testbed", false, "include concurrent-testbed columns (slow, wall-clock bound)")
-		seed    = flag.Uint64("seed", 2006, "root random seed")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		only    = fs.String("only", "", "comma-separated experiment IDs (default: all)")
+		out     = fs.String("out", "results", "directory for CSV artifacts ('' disables)")
+		quick   = fs.Bool("quick", false, "reduced replication counts")
+		testbed = fs.Bool("testbed", false, "include concurrent-testbed columns (slow, wall-clock bound)")
+		seed    = fs.Uint64("seed", 2006, "root random seed")
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range exp.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	cfg := exp.Config{
@@ -43,7 +54,7 @@ func main() {
 		OutDir:   *out,
 		Quick:    *quick,
 		Testbed:  *testbed,
-		Progress: os.Stderr,
+		Progress: stderr,
 	}
 
 	var selected []exp.Experiment
@@ -54,8 +65,8 @@ func main() {
 			id = strings.TrimSpace(id)
 			e, ok := exp.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "unknown experiment %q (try -list)\n", id)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -63,19 +74,20 @@ func main() {
 
 	failed := 0
 	for _, e := range selected {
-		fmt.Fprintf(os.Stderr, "running %s...\n", e.ID)
+		fmt.Fprintf(stderr, "running %s...\n", e.ID)
 		res, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
 			failed++
 			continue
 		}
-		if err := res.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: render: %v\n", e.ID, err)
+		if err := res.Render(stdout); err != nil {
+			fmt.Fprintf(stderr, "%s: render: %v\n", e.ID, err)
 			failed++
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBadFlagsRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-only", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown experiment: exit %d, want 2", code)
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"fig3", "table1", "scale"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("experiment %q missing from -list:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestQuickSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-quick", "-only", "fig2", "-out", ""}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "fig2") {
+		t.Fatalf("missing rendered result: %s", out.String())
+	}
+}

@@ -1,0 +1,3 @@
+module churnlb
+
+go 1.24

@@ -2,33 +2,58 @@
 // clock plus a binary event heap with O(log n) scheduling and cancellation.
 // Ties are broken by insertion order, so simulations driven by a
 // deterministic random stream are bit-reproducible.
+//
+// Event records are pooled: a fired or cancelled event returns to a
+// per-scheduler free list and is reused by the next At/After call, so a
+// long run allocates a bounded number of records no matter how many events
+// it fires. Cancellation removes the event from the heap immediately
+// (releasing its closure), rather than leaving a tombstone to be skipped
+// at pop time — pending-event memory is proportional to live events only.
 package des
 
 import "fmt"
 
-// Handle identifies a scheduled event and allows cancellation.
+// Handle identifies a scheduled event and allows cancellation. The zero
+// Handle refers to no event; Cancel on it is a no-op. Handles are small
+// values — copy them freely. A handle whose event has already fired or
+// been cancelled is stale: Cancel and Active on it are safe no-ops even
+// after the underlying pooled record has been reused for a newer event
+// (the sequence number disambiguates incarnations).
 type Handle struct {
-	time      float64
-	seq       uint64
-	fn        func()
-	index     int // position in the heap, -1 once fired or cancelled
-	cancelled bool
+	e   *event
+	seq uint64
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (h *Handle) Cancel() {
-	if h != nil {
-		h.cancelled = true
+// event is the pooled heap record behind a Handle.
+type event struct {
+	time  float64
+	seq   uint64
+	fn    func()
+	index int // position in the heap, -1 once fired or cancelled
+	owner *Scheduler
+}
+
+// Cancel prevents the event from firing and removes it from the heap
+// immediately. Cancelling a zero, fired or already-cancelled handle is a
+// no-op.
+func (h Handle) Cancel() {
+	if h.Active() {
+		h.e.owner.remove(h.e)
 	}
+}
+
+// Active reports whether the handle's event is still scheduled.
+func (h Handle) Active() bool {
+	return h.e != nil && h.e.index >= 0 && h.e.seq == h.seq
 }
 
 // Scheduler owns the simulation clock and the pending-event heap.
 type Scheduler struct {
 	now    float64
 	seq    uint64
-	events []*Handle
+	events []*event
 	fired  uint64
+	free   []*event // recycled records, reused by At
 }
 
 // New returns an empty scheduler at time 0.
@@ -40,22 +65,30 @@ func (s *Scheduler) Now() float64 { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Len returns the number of scheduled (possibly cancelled) events.
+// Len returns the number of live scheduled events.
 func (s *Scheduler) Len() int { return len(s.events) }
 
 // At schedules fn at absolute time t, which must not precede the clock.
-func (s *Scheduler) At(t float64, fn func()) *Handle {
+func (s *Scheduler) At(t float64, fn func()) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling into the past: %v < %v", t, s.now))
 	}
 	s.seq++
-	h := &Handle{time: t, seq: s.seq, fn: fn}
-	s.push(h)
-	return h
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &event{owner: s}
+	}
+	e.time, e.seq, e.fn = t, s.seq, fn
+	s.push(e)
+	return Handle{e: e, seq: e.seq}
 }
 
 // After schedules fn after delay d (d < 0 is clamped to 0).
-func (s *Scheduler) After(d float64, fn func()) *Handle {
+func (s *Scheduler) After(d float64, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -63,19 +96,18 @@ func (s *Scheduler) After(d float64, fn func()) *Handle {
 }
 
 // Step fires the next pending event. It returns false when no events
-// remain. Cancelled events are discarded silently.
+// remain.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		h := s.pop()
-		if h.cancelled {
-			continue
-		}
-		s.now = h.time
-		s.fired++
-		h.fn()
-		return true
+	if len(s.events) == 0 {
+		return false
 	}
-	return false
+	e := s.pop()
+	s.now = e.time
+	s.fired++
+	fn := e.fn
+	s.recycle(e)
+	fn()
+	return true
 }
 
 // RunUntil fires events until the predicate becomes true or the event
@@ -92,8 +124,7 @@ func (s *Scheduler) RunUntil(done func() bool) bool {
 // Run fires every event with time <= tMax and advances the clock to tMax.
 func (s *Scheduler) Run(tMax float64) {
 	for len(s.events) > 0 {
-		h := s.peek()
-		if h.time > tMax {
+		if s.events[0].time > tMax {
 			break
 		}
 		s.Step()
@@ -101,6 +132,31 @@ func (s *Scheduler) Run(tMax float64) {
 	if s.now < tMax {
 		s.now = tMax
 	}
+}
+
+// remove deletes a live event from the heap and recycles its record.
+func (s *Scheduler) remove(e *event) {
+	i := e.index
+	last := len(s.events) - 1
+	if i != last {
+		s.swap(i, last)
+	}
+	s.events[last] = nil
+	s.events = s.events[:last]
+	if i < last {
+		s.down(i)
+		s.up(i)
+	}
+	s.recycle(e)
+}
+
+// recycle marks the record dead and returns it to the free list. The
+// sequence number is left in place so stale handles keep matching this
+// incarnation (and failing the index check) until the record is reused.
+func (s *Scheduler) recycle(e *event) {
+	e.fn = nil
+	e.index = -1
+	s.free = append(s.free, e)
 }
 
 // --- binary heap ordered by (time, seq) ---
@@ -119,24 +175,23 @@ func (s *Scheduler) swap(i, j int) {
 	s.events[j].index = j
 }
 
-func (s *Scheduler) push(h *Handle) {
-	h.index = len(s.events)
-	s.events = append(s.events, h)
-	s.up(h.index)
+func (s *Scheduler) push(e *event) {
+	e.index = len(s.events)
+	s.events = append(s.events, e)
+	s.up(e.index)
 }
 
-func (s *Scheduler) peek() *Handle { return s.events[0] }
-
-func (s *Scheduler) pop() *Handle {
-	h := s.events[0]
+func (s *Scheduler) pop() *event {
+	e := s.events[0]
 	last := len(s.events) - 1
 	s.swap(0, last)
+	s.events[last] = nil
 	s.events = s.events[:last]
 	if last > 0 {
 		s.down(0)
 	}
-	h.index = -1
-	return h
+	e.index = -1
+	return e
 }
 
 func (s *Scheduler) up(i int) {

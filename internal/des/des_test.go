@@ -67,14 +67,55 @@ func TestCancel(t *testing.T) {
 	}
 }
 
-func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
+func TestCancelIsIdempotentAndZeroSafe(t *testing.T) {
 	s := New()
 	h := s.At(1, func() {})
 	h.Cancel()
 	h.Cancel()
-	var nilH *Handle
-	nilH.Cancel() // must not panic
+	var zero Handle
+	zero.Cancel() // must not panic
+	if zero.Active() {
+		t.Fatal("zero handle reports active")
+	}
 	for s.Step() {
+	}
+}
+
+// Cancellation removes the event from the heap immediately instead of
+// leaving a tombstone: the live-event count drops at Cancel time.
+func TestCancelRemovesEagerly(t *testing.T) {
+	s := New()
+	h := s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	h.Cancel()
+	if s.Len() != 1 {
+		t.Fatalf("Len after cancel = %d, want 1 (eager removal)", s.Len())
+	}
+	if h.Active() {
+		t.Fatal("cancelled handle reports active")
+	}
+}
+
+// A stale handle must never affect the event that reuses its pooled
+// record: cancelling after the event fired (and the record was recycled
+// into a new event) is a no-op.
+func TestStaleHandleCannotCancelReusedRecord(t *testing.T) {
+	s := New()
+	old := s.At(1, func() {})
+	s.Step() // fires and recycles old's record
+	fired := false
+	fresh := s.At(2, func() { fired = true })
+	old.Cancel() // stale: must not touch the reused record
+	if !fresh.Active() {
+		t.Fatal("stale cancel killed the reused event")
+	}
+	for s.Step() {
+	}
+	if !fired {
+		t.Fatal("reused event did not fire")
 	}
 }
 
@@ -193,7 +234,7 @@ func TestHeapProperty(t *testing.T) {
 		rng := xrand.NewStream(uint64(seed), 9)
 		s := New()
 		n := 50 + rng.Intn(200)
-		handles := make([]*Handle, n)
+		handles := make([]Handle, n)
 		firedAt := make([]float64, 0, n)
 		for i := 0; i < n; i++ {
 			tt := rng.Float64() * 1000

@@ -17,7 +17,7 @@ func quickCfg(t *testing.T) Config {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3",
-		"ablate", "churnlaw", "multinode", "dynamic"}
+		"ablate", "churnlaw", "multinode", "dynamic", "scale"}
 	ids := IDs()
 	for _, id := range want {
 		found := false
@@ -292,5 +292,30 @@ func TestDynamicArrivalsExperiment(t *testing.T) {
 	}
 	if len(res.Tables[0].Rows) != 3 {
 		t.Fatalf("dynamic rows %d", len(res.Tables[0].Rows))
+	}
+}
+
+func TestScaleScenarioSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MC heavy")
+	}
+	res, err := runScale(quickCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("scale rows %d, want one per scenario family", len(rows))
+	}
+	parse := func(cell string) float64 {
+		v, _ := strconv.ParseFloat(strings.Fields(cell)[0], 64)
+		return v
+	}
+	// Hotspot is the regime where balancing matters: both policies must
+	// beat no balancing.
+	hotspot := rows[1]
+	none, lbp1m, lbp2 := parse(hotspot[1]), parse(hotspot[2]), parse(hotspot[3])
+	if !(lbp1m < none && lbp2 < none) {
+		t.Errorf("hotspot: balancing (%v, %v) must beat none (%v)", lbp1m, lbp2, none)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"churnlb/internal/stats"
 	"churnlb/internal/xrand"
@@ -50,18 +51,19 @@ func Run(opt Options, f Replication) (Estimate, error) {
 
 	samples := make([]float64, opt.Reps)
 	errs := make([]error, opt.Reps)
-	var next int
-	var mu sync.Mutex
+	// Replications are claimed off a lock-free counter: short replications
+	// (large clusters make them seconds, the paper's two nodes make them
+	// microseconds) would otherwise serialise on a mutex. Determinism is
+	// untouched — every sample is keyed by its replication index, not by
+	// which worker ran it.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				rep := next
-				next++
-				mu.Unlock()
+				rep := int(next.Add(1)) - 1
 				if rep >= opt.Reps {
 					return
 				}

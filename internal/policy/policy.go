@@ -16,7 +16,10 @@ import (
 
 // Policy decides load transfers. Implementations must be stateless with
 // respect to individual runs (the simulator may invoke them from many
-// replications); all run state arrives through the State snapshot.
+// replications); all run state arrives through the State snapshot. The
+// snapshot and its slices are only valid for the duration of the call —
+// the simulator reuses the backing buffers between callbacks — so
+// implementations that need to retain it must Clone it first.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
@@ -183,21 +186,56 @@ func (l LBP2) PartitionFraction(i, j int, s model.State, p model.Params) float64
 }
 
 // Initial implements Policy: eq. (7), L_ij = K·p_ij·excess_j for every
-// overloaded node j.
+// overloaded node j. The aggregate sums behind ExcessLoad and
+// PartitionFraction are hoisted out of the node loops, making a balancing
+// episode O(n·(overloaded nodes)) instead of O(n³) on large clusters;
+// every per-pair expression evaluates in the same order as the exported
+// eq.-level methods, so transfer sizes stay bit-identical to them.
 func (l LBP2) Initial(s model.State, p model.Params) []model.Transfer {
 	var out []model.Transfer
 	n := p.N()
+	total := s.TotalQueued()
+	totalProc := p.TotalProcRate()
 	for j := 0; j < n; j++ {
-		excess := l.ExcessLoad(j, s, p)
+		share := p.ProcRate[j] / totalProc
+		if l.SpeedBlind {
+			share = 1 / float64(n)
+		}
+		excessF := float64(s.Queues[j]) - share*float64(total)
+		if excessF <= 0 {
+			continue
+		}
+		excess := int(excessF) // the paper floors to whole tasks
 		if excess == 0 {
 			continue
+		}
+		// Σ_{k≠j} m_k/λd_k of eq. (6), accumulated in the same k order as
+		// PartitionFraction.
+		var denom float64
+		if n > 2 {
+			for k := 0; k < n; k++ {
+				if k == j {
+					continue
+				}
+				denom += float64(s.Queues[k]) / p.ProcRate[k]
+			}
 		}
 		sent := 0
 		for i := 0; i < n; i++ {
 			if i == j {
 				continue
 			}
-			tasks := int(math.Round(l.K * l.PartitionFraction(i, j, s, p) * float64(excess)))
+			var frac float64
+			switch {
+			case n == 2:
+				frac = 1
+			case denom == 0:
+				// Every receiver is empty; split evenly.
+				frac = 1 / float64(n-1)
+			default:
+				frac = (1 - (float64(s.Queues[i])/p.ProcRate[i])/denom) / float64(n-2)
+			}
+			tasks := int(math.Round(l.K * frac * float64(excess)))
 			if tasks <= 0 {
 				continue
 			}
@@ -233,15 +271,27 @@ func (l LBP2) FailureTransferSize(i, j int, p model.Params) int {
 }
 
 // OnFailure implements Policy: the failing node's backup sends LF_ij tasks
-// to every peer, never exceeding what remains queued.
+// to every peer, never exceeding what remains queued. Σλd is computed
+// once rather than per receiver (FailureTransferSize recomputes it), so a
+// failure episode is O(n) — this runs at every failure instant of a
+// large-cluster realisation.
 func (l LBP2) OnFailure(failed int, s model.State, p model.Params) []model.Transfer {
 	var out []model.Transfer
 	remaining := s.Queues[failed]
+	if remaining <= 0 || p.RecRate[failed] == 0 {
+		return nil
+	}
+	backlog := p.ProcRate[failed] / p.RecRate[failed]
+	totalProc := p.TotalProcRate()
 	for i := 0; i < p.N() && remaining > 0; i++ {
 		if i == failed {
 			continue
 		}
-		tasks := l.FailureTransferSize(i, failed, p)
+		avail := p.Availability(i)
+		if l.AvailabilityBlind {
+			avail = 1
+		}
+		tasks := int(math.Floor(avail * (p.ProcRate[i] / totalProc) * backlog))
 		if tasks > remaining {
 			tasks = remaining
 		}

@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"churnlb/internal/policy"
+	"churnlb/internal/sim"
+	"churnlb/internal/xrand"
+)
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []Spec{
+		{Kind: Uniform, N: 0, TotalLoad: 10},
+		{Kind: Uniform, N: 4, TotalLoad: -1},
+		{Kind: Hotspot, N: 4, TotalLoad: 10, HotspotNodes: 9},
+		{Kind: Hotspot, N: 4, TotalLoad: 10, HotspotFraction: 1.5},
+		{Kind: FlashCrowd, N: 4, TotalLoad: 10, QueuedFraction: 2},
+		{Kind: CorrelatedFailure, N: 4, TotalLoad: 10, Groups: 99},
+		{Kind: Kind(42), N: 4, TotalLoad: 10},
+	}
+	for _, sp := range cases {
+		if _, err := Generate(sp); err == nil {
+			t.Errorf("spec %+v accepted", sp)
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	sp := Spec{Kind: Hotspot, N: 60, TotalLoad: 3000, Seed: 7}
+	a, err := Generate(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal specs generated different scenarios")
+	}
+	c, err := Generate(Spec{Kind: Hotspot, N: 60, TotalLoad: 3000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Params.ProcRate, c.Params.ProcRate) {
+		t.Fatal("different seeds generated identical rates")
+	}
+}
+
+func TestGeneratedParamsValidate(t *testing.T) {
+	for _, k := range Kinds() {
+		sc, err := Generate(Spec{Kind: k, N: 50, TotalLoad: 2000, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := sc.Params.Validate(); err != nil {
+			t.Fatalf("%v: generated params invalid: %v", k, err)
+		}
+		if len(sc.InitialLoad) != 50 || len(sc.InitialUp) != 50 {
+			t.Fatalf("%v: wrong slice lengths", k)
+		}
+	}
+}
+
+func TestUniformSpreadsLoadEvenly(t *testing.T) {
+	sc, err := Generate(Spec{Kind: Uniform, N: 7, TotalLoad: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TotalQueued() != 100 {
+		t.Fatalf("queued %d, want 100", sc.TotalQueued())
+	}
+	for i, q := range sc.InitialLoad {
+		if q < 100/7 || q > 100/7+1 {
+			t.Fatalf("node %d got %d tasks, want near-even split", i, q)
+		}
+	}
+}
+
+func TestHotspotSkewsLoad(t *testing.T) {
+	sc, err := Generate(Spec{Kind: Hotspot, N: 100, TotalLoad: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TotalQueued() != 10000 {
+		t.Fatalf("queued %d, want 10000", sc.TotalQueued())
+	}
+	// Default: 5 hot nodes hold 80% of the load.
+	hot := 0
+	for _, q := range sc.InitialLoad[:5] {
+		hot += q
+	}
+	if hot != 8000 {
+		t.Fatalf("hot nodes hold %d tasks, want 8000", hot)
+	}
+}
+
+// With every node hot (including the degenerate N=1 default) there are no
+// cold nodes to take the remainder — nothing may be dropped.
+func TestHotspotAllNodesHotConservesLoad(t *testing.T) {
+	for _, sp := range []Spec{
+		{Kind: Hotspot, N: 1, TotalLoad: 1000, Seed: 1},
+		{Kind: Hotspot, N: 4, TotalLoad: 1000, Seed: 1, HotspotNodes: 4},
+	} {
+		sc, err := Generate(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.TotalQueued() != sp.TotalLoad {
+			t.Fatalf("N=%d HotspotNodes=%d: queued %d, want %d",
+				sp.N, sp.HotspotNodes, sc.TotalQueued(), sp.TotalLoad)
+		}
+	}
+}
+
+func TestCorrelatedFailureMarksDomainDown(t *testing.T) {
+	sc, err := Generate(Spec{Kind: CorrelatedFailure, N: 40, TotalLoad: 1000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Group == nil {
+		t.Fatal("no group assignment")
+	}
+	down := 0
+	for i := range sc.InitialUp {
+		if !sc.InitialUp[i] {
+			down++
+			if sc.Group[i] != 0 {
+				t.Fatalf("node %d down but in group %d", i, sc.Group[i])
+			}
+		}
+	}
+	if down == 0 {
+		t.Fatal("no nodes start down")
+	}
+	if sc.TotalQueued() != 1000 {
+		t.Fatalf("queued %d, want 1000", sc.TotalQueued())
+	}
+}
+
+func TestFlashCrowdSplitsLoad(t *testing.T) {
+	sc, err := Generate(Spec{Kind: FlashCrowd, N: 20, TotalLoad: 5000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TotalQueued() != 1000 {
+		t.Fatalf("queued %d, want 20%% of 5000", sc.TotalQueued())
+	}
+	if sc.ArrivalRate <= 0 || sc.ArrivalBatch <= 0 || sc.ArrivalHorizon != 30 {
+		t.Fatalf("burst not configured: %+v", sc)
+	}
+	// Expected arrivals over the window must equal the remaining 80%.
+	expected := sc.ArrivalRate * sc.ArrivalHorizon * float64(sc.ArrivalBatch)
+	if expected < 3800 || expected > 4200 {
+		t.Fatalf("expected burst %v tasks, want ≈4000", expected)
+	}
+}
+
+// Every scenario family must produce a runnable simulation that conserves
+// tasks end to end.
+func TestScenariosSimulateAndConserve(t *testing.T) {
+	for _, k := range Kinds() {
+		sc, err := Generate(Spec{Kind: k, N: 30, TotalLoad: 600, Seed: 11})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		res, err := sim.Run(sc.Options(policy.LBP2{K: 1}, xrand.NewStream(11, 1)))
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		processed := 0
+		for _, c := range res.Processed {
+			processed += c
+		}
+		want := sc.TotalQueued() + res.ExternalArrivals
+		if processed != want {
+			t.Fatalf("%v: processed %d, want %d", k, processed, want)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/xrand"
+)
+
+// The golden values below were produced by the pre-refactor simulator
+// (per-event remaining() scans, epoch-invalidated completion timers,
+// per-callback snapshot allocation) at commit 15fa5c8 plus go.mod. The
+// hot-path overhaul must leave every fixed-seed realisation bit-identical:
+// completion times are compared as exact float64 bit patterns, and traced
+// runs additionally compare an FNV-1a hash over every trace point.
+
+type goldenCase struct {
+	name string
+	opt  func() Options
+
+	completionBits                  uint64
+	failures, recoveries            int
+	transfersSent, tasksTransferred int
+	processed                       []int
+	traceLen                        int
+	traceFNV                        uint64
+}
+
+func goldenCases() []goldenCase {
+	p := model.PaperBaseline()
+	return []goldenCase{
+		{
+			name: "none",
+			opt: func() Options {
+				return Options{Params: p, Policy: policy.NoBalance{}, InitialLoad: []int{100, 60}, Rand: xrand.NewStream(42, 7)}
+			},
+			completionBits: math.Float64bits(0x1.e9179756f82e6p+06),
+			failures:       7, recoveries: 6, transfersSent: 0, tasksTransferred: 0,
+			processed: []int{100, 60}, traceFNV: 0xcbf29ce484222325,
+		},
+		{
+			name: "lbp1",
+			opt: func() Options {
+				return Options{Params: p, Policy: policy.LBP1{K: 0.35, Sender: 0}, InitialLoad: []int{100, 60}, Rand: xrand.NewStream(42, 7)}
+			},
+			completionBits: math.Float64bits(0x1.8478bfa3b6a42p+06),
+			failures:       6, recoveries: 6, transfersSent: 1, tasksTransferred: 35,
+			processed: []int{65, 95}, traceFNV: 0xcbf29ce484222325,
+		},
+		{
+			name: "lbp2",
+			opt: func() Options {
+				return Options{Params: p, Policy: policy.LBP2{K: 1}, InitialLoad: []int{100, 60}, Rand: xrand.NewStream(42, 7)}
+			},
+			completionBits: math.Float64bits(0x1.d78aadd7a5836p+06),
+			failures:       8, recoveries: 7, transfersSent: 6, tasksTransferred: 71,
+			processed: []int{77, 83}, traceFNV: 0xcbf29ce484222325,
+		},
+		{
+			name: "lbp2-delay3",
+			opt: func() Options {
+				return Options{Params: p.WithDelay(3), Policy: policy.LBP2{K: 0.24}, InitialLoad: []int{100, 60}, Rand: xrand.NewStream(99, 3)}
+			},
+			completionBits: math.Float64bits(0x1.734ae6c32a2a6p+06),
+			failures:       4, recoveries: 4, transfersSent: 4, tasksTransferred: 31,
+			processed: []int{105, 55}, traceFNV: 0xcbf29ce484222325,
+		},
+		{
+			name: "lbp2-pertask",
+			opt: func() Options {
+				return Options{Params: p, Policy: policy.LBP2{K: 1}, InitialLoad: []int{100, 60}, Rand: xrand.NewStream(7, 1), TransferMode: TransferPerTask}
+			},
+			completionBits: math.Float64bits(0x1.8d6fbec655a7bp+06),
+			failures:       5, recoveries: 5, transfersSent: 6, tasksTransferred: 68,
+			processed: []int{68, 92}, traceFNV: 0xcbf29ce484222325,
+		},
+		{
+			name: "lbp1-weibull",
+			opt: func() Options {
+				return Options{Params: p, Policy: policy.LBP1{K: 0.35, Sender: 0}, InitialLoad: []int{80, 20}, Rand: xrand.NewStream(5, 5), ChurnLaw: ChurnWeibull}
+			},
+			completionBits: math.Float64bits(0x1.5df755bb347efp+06),
+			failures:       6, recoveries: 5, transfersSent: 1, tasksTransferred: 28,
+			processed: []int{52, 48}, traceFNV: 0xcbf29ce484222325,
+		},
+		{
+			name: "dynamic-arrivals",
+			opt: func() Options {
+				return Options{Params: p, Policy: policy.Dynamic{Base: policy.LBP2{K: 1}}, InitialLoad: []int{20, 0}, Rand: xrand.NewStream(103, 2), ArrivalRate: 0.5, ArrivalBatch: 5, ArrivalHorizon: 60}
+			},
+			completionBits: math.Float64bits(0x1.9b7b63acb3929p+06),
+			failures:       9, recoveries: 8, transfersSent: 28, tasksTransferred: 95,
+			processed: []int{67, 68}, traceFNV: 0xcbf29ce484222325,
+		},
+		{
+			name: "trace-on",
+			opt: func() Options {
+				return Options{Params: p, Policy: policy.LBP2{K: 1}, InitialLoad: []int{100, 60}, Rand: xrand.NewStream(77, 0), Trace: true}
+			},
+			completionBits: math.Float64bits(0x1.4adf179e58631p+06),
+			failures:       4, recoveries: 3, transfersSent: 4, tasksTransferred: 56,
+			processed: []int{62, 98}, traceLen: 177, traceFNV: 0xca2b5f86280c6ae7,
+		},
+		{
+			name: "initial-down",
+			opt: func() Options {
+				return Options{Params: p, Policy: policy.LBP2{K: 1}, InitialLoad: []int{40, 10}, InitialUp: []bool{false, true}, Rand: xrand.NewStream(31, 9)}
+			},
+			completionBits: math.Float64bits(0x1.291970306c61dp+05),
+			failures:       3, recoveries: 4, transfersSent: 3, tasksTransferred: 27,
+			processed: []int{13, 37}, traceFNV: 0xcbf29ce484222325,
+		},
+		{
+			name: "deterministic-churn",
+			opt: func() Options {
+				return Options{Params: p, Policy: policy.LBP2{K: 1}, InitialLoad: []int{60, 40}, Rand: xrand.NewStream(101, 2), ChurnLaw: ChurnDeterministic}
+			},
+			completionBits: math.Float64bits(0x1.970253037d28cp+05),
+			failures:       3, recoveries: 2, transfersSent: 3, tasksTransferred: 35,
+			processed: []int{43, 57}, traceFNV: 0xcbf29ce484222325,
+		},
+	}
+}
+
+// traceHash folds every trace point (time bits, kind, node, queue vector)
+// into an FNV-1a digest, so traces compare exactly without storing them.
+func traceHash(tr []TracePoint) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	for _, tp := range tr {
+		mix(math.Float64bits(tp.Time))
+		for _, c := range []byte(tp.Kind) {
+			h ^= uint64(c)
+			h *= prime
+		}
+		mix(uint64(int64(tp.Node)))
+		for _, q := range tp.Queues {
+			mix(uint64(int64(q)))
+		}
+	}
+	return h
+}
+
+func TestGoldenBitIdentical(t *testing.T) {
+	for _, c := range goldenCases() {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Run(c.opt())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := math.Float64bits(res.CompletionTime); got != c.completionBits {
+				t.Errorf("CompletionTime %x (bits %#x), want bits %#x",
+					res.CompletionTime, got, c.completionBits)
+			}
+			if res.Failures != c.failures || res.Recoveries != c.recoveries {
+				t.Errorf("churn (%d,%d), want (%d,%d)", res.Failures, res.Recoveries, c.failures, c.recoveries)
+			}
+			if res.TransfersSent != c.transfersSent || res.TasksTransferred != c.tasksTransferred {
+				t.Errorf("transfers (%d,%d), want (%d,%d)",
+					res.TransfersSent, res.TasksTransferred, c.transfersSent, c.tasksTransferred)
+			}
+			for i, want := range c.processed {
+				if res.Processed[i] != want {
+					t.Errorf("Processed[%d] = %d, want %d", i, res.Processed[i], want)
+				}
+			}
+			if len(res.Trace) != c.traceLen {
+				t.Errorf("trace length %d, want %d", len(res.Trace), c.traceLen)
+			}
+			if got := traceHash(res.Trace); got != c.traceFNV {
+				t.Errorf("trace hash %#x, want %#x", got, c.traceFNV)
+			}
+		})
+	}
+}
+
+// TestAccountingMatchesScan proves the incrementally maintained
+// remaining-task counter agrees with the pre-refactor full scan after
+// every single event, on randomized small systems across policies, churn
+// laws and arrival settings.
+func TestAccountingMatchesScan(t *testing.T) {
+	mismatches := 0
+	accountingHook = func(tracked, scanned int) {
+		if tracked != scanned {
+			mismatches++
+		}
+	}
+	defer func() { accountingHook = nil }()
+
+	f := func(seed uint16, nRaw, polRaw uint8) bool {
+		rng := xrand.NewStream(uint64(seed), 55)
+		n := 2 + int(nRaw)%4
+		p := model.Params{
+			ProcRate:     make([]float64, n),
+			FailRate:     make([]float64, n),
+			RecRate:      make([]float64, n),
+			DelayPerTask: 0.05,
+		}
+		load := make([]int, n)
+		for i := 0; i < n; i++ {
+			p.ProcRate[i] = 0.5 + 2*rng.Float64()
+			p.FailRate[i] = 0.1 * rng.Float64()
+			p.RecRate[i] = 0.1 + 0.2*rng.Float64()
+			load[i] = rng.Intn(40)
+		}
+		var pol policy.Policy
+		switch polRaw % 3 {
+		case 0:
+			pol = policy.NoBalance{}
+		case 1:
+			pol = policy.LBP1Multi{K: 0.8}
+		default:
+			pol = policy.LBP2{K: 1}
+		}
+		opt := Options{Params: p, Policy: pol, InitialLoad: load, Rand: rng}
+		if polRaw%2 == 0 {
+			opt.ArrivalRate, opt.ArrivalBatch, opt.ArrivalHorizon = 0.3, 3, 25
+		}
+		res, err := Run(opt)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range res.Processed {
+			total += c
+		}
+		want := res.ExternalArrivals
+		for _, q := range load {
+			want += q
+		}
+		return total == want && mismatches == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+	if mismatches > 0 {
+		t.Fatalf("O(1) accounting diverged from the full scan %d times", mismatches)
+	}
+}
