@@ -69,6 +69,10 @@ func BenchmarkTable3DelaySweep(b *testing.B) { benchExperiment(b, "table3") }
 // BenchmarkAblations times the LBP-2 design-choice ablations (extension).
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablate") }
 
+// BenchmarkServeExperiment times the open-system serving comparison:
+// routing policies vs dynamic rebalancing under churn (extension).
+func BenchmarkServeExperiment(b *testing.B) { benchExperiment(b, "serve") }
+
 // --- micro-benchmarks of the load-bearing kernels ---
 
 // BenchmarkMeanSolverOptimize times the full discrete gain optimisation
@@ -143,6 +147,55 @@ func BenchmarkSimN100(b *testing.B) { benchScenario(b, scenario.Hotspot, 100, 10
 // BenchmarkSimN1000 times a 1000-node, 10⁵-task hotspot realisation —
 // the acceptance bar for the O(1)-accounting event loop.
 func BenchmarkSimN1000(b *testing.B) { benchScenario(b, scenario.Hotspot, 1000, 100_000) }
+
+// --- open-system serving benchmarks ---
+//
+// These guard the telemetry acceptance bar: the observer, the P²
+// sketches and the windowed collector must add O(1) fixed-memory work
+// per task, so the per-task cost of a served realisation stays within
+// ~2× of the closed-model per-event cost at the same scale.
+
+// benchServe times one open-system realisation per iteration: a Poisson
+// stream routed by power-of-two-choices over a generated hotspot
+// cluster, with LBP-2 failure compensation and full telemetry.
+func benchServe(b *testing.B, n int, rate float64) {
+	sc, err := scenario.Generate(scenario.Spec{Kind: scenario.Hotspot, N: n, TotalLoad: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := System{DelayPerTask: sc.Params.DelayPerTask}
+	for i := 0; i < n; i++ {
+		sys.Nodes = append(sys.Nodes, Node{
+			ProcRate: sc.Params.ProcRate[i],
+			FailRate: sc.Params.FailRate[i],
+			RecRate:  sc.Params.RecRate[i],
+		})
+	}
+	opt := ServeOptions{Rate: rate, Horizon: 20, Window: 1}
+	served := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Serve(sys, PolicySpec{Kind: PolicyLBP2, K: 1},
+			RouterSpec{Kind: RouterPowerOfD, D: 2}, uint64(i+1), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed == 0 || res.Completed != res.Arrived {
+			b.Fatalf("realisation served %d of %d", res.Completed, res.Arrived)
+		}
+		served = res.Completed
+	}
+	b.ReportMetric(float64(served), "tasks/op")
+}
+
+// BenchmarkServeN100 serves ~10⁴ tasks over a 100-node cluster — the
+// open-system counterpart of BenchmarkSimN100.
+func BenchmarkServeN100(b *testing.B) { benchServe(b, 100, 500) }
+
+// BenchmarkServeN1000 serves ~10⁵ tasks over a 1000-node cluster — the
+// open-system counterpart of BenchmarkSimN1000 and the acceptance bar
+// for O(1) per-task telemetry.
+func BenchmarkServeN1000(b *testing.B) { benchServe(b, 1000, 5000) }
 
 // BenchmarkMonteCarloN100 times a parallel 100-replication estimate of
 // the 100-node uniform scenario.

@@ -21,6 +21,12 @@
 //     flash-crowd — that extend the paper's two-node experiments to
 //     production scale (see cmd/lbsim -scenario and the "scale"
 //     experiment);
+//   - an open-system serving layer (Serve/ServeMany): Poisson or
+//     diurnal-wave arrivals placed by dispatcher routing policies
+//     (round-robin, JSQ, power-of-d-choices, and a churn-aware
+//     least-expected-work router), with fixed-memory telemetry — P²
+//     latency-percentile sketches and windowed throughput, queue-depth
+//     and availability series (internal/metrics);
 //   - a concurrent testbed that executes the paper's three-layer system
 //     architecture with goroutine CEs and (optionally) real UDP/TCP
 //     loopback communication.
@@ -40,7 +46,9 @@ import (
 	"churnlb/internal/mc"
 	"churnlb/internal/model"
 	"churnlb/internal/policy"
+	"churnlb/internal/serve"
 	"churnlb/internal/sim"
+	"churnlb/internal/stats"
 	"churnlb/internal/xrand"
 )
 
@@ -275,6 +283,56 @@ type SimResult struct {
 	Trace                           []TracePoint
 }
 
+// TransferMode selects how transfer delays are drawn.
+type TransferMode int
+
+// Transfer-delay laws.
+const (
+	// TransferBundle draws one exponential delay of mean δ·L for the
+	// whole bundle — the paper's analytical assumption.
+	TransferBundle TransferMode = iota
+	// TransferPerTask sums L exponential stages of mean δ, closer to the
+	// physical network.
+	TransferPerTask
+)
+
+// ChurnLaw selects the failure/recovery time distribution.
+type ChurnLaw int
+
+// Churn laws.
+const (
+	// ChurnExponential is the paper's memoryless law.
+	ChurnExponential ChurnLaw = iota
+	// ChurnWeibull uses shape-2 Weibull laws with the same means.
+	ChurnWeibull
+	// ChurnDeterministic uses fixed intervals equal to the means.
+	ChurnDeterministic
+)
+
+func (m TransferMode) internal() (sim.TransferMode, error) {
+	switch m {
+	case TransferBundle:
+		return sim.TransferBundle, nil
+	case TransferPerTask:
+		return sim.TransferPerTask, nil
+	default:
+		return 0, fmt.Errorf("churnlb: unknown transfer mode %d", m)
+	}
+}
+
+func (c ChurnLaw) internal() (sim.ChurnLaw, error) {
+	switch c {
+	case ChurnExponential:
+		return sim.ChurnExponential, nil
+	case ChurnWeibull:
+		return sim.ChurnWeibull, nil
+	case ChurnDeterministic:
+		return sim.ChurnDeterministic, nil
+	default:
+		return 0, fmt.Errorf("churnlb: unknown churn law %d", c)
+	}
+}
+
 // SimOptions tunes Simulate beyond the defaults.
 type SimOptions struct {
 	// Trace records queue evolution (Fig. 4).
@@ -284,6 +342,10 @@ type SimOptions struct {
 	ArrivalRate    float64
 	ArrivalBatch   int
 	ArrivalHorizon float64
+	// TransferMode selects the transfer-delay law (default TransferBundle).
+	TransferMode TransferMode
+	// ChurnLaw selects the failure/recovery law (default ChurnExponential).
+	ChurnLaw ChurnLaw
 }
 
 // Simulate runs one exact stochastic realisation of the churn model.
@@ -296,11 +358,21 @@ func Simulate(s System, spec PolicySpec, load []int, seed uint64, opt SimOptions
 	if err != nil {
 		return SimResult{}, err
 	}
+	tm, err := opt.TransferMode.internal()
+	if err != nil {
+		return SimResult{}, err
+	}
+	cl, err := opt.ChurnLaw.internal()
+	if err != nil {
+		return SimResult{}, err
+	}
 	out, err := sim.Run(sim.Options{
 		Params:         p,
 		Policy:         pol,
 		InitialLoad:    load,
 		Rand:           xrand.New(seed),
+		TransferMode:   tm,
+		ChurnLaw:       cl,
 		Trace:          opt.Trace,
 		ArrivalRate:    opt.ArrivalRate,
 		ArrivalBatch:   opt.ArrivalBatch,
@@ -334,6 +406,12 @@ type Estimate struct {
 // MonteCarlo estimates the expected completion time over reps independent
 // replications, parallelised across CPUs, deterministic for a given seed.
 func MonteCarlo(s System, spec PolicySpec, load []int, reps int, seed uint64) (Estimate, error) {
+	return MonteCarloOpts(s, spec, load, reps, seed, SimOptions{})
+}
+
+// MonteCarloOpts is MonteCarlo with per-realisation SimOptions (transfer
+// mode, churn law, external arrivals); Trace is ignored.
+func MonteCarloOpts(s System, spec PolicySpec, load []int, reps int, seed uint64, opt SimOptions) (Estimate, error) {
 	p, err := s.params()
 	if err != nil {
 		return Estimate{}, err
@@ -342,8 +420,26 @@ func MonteCarlo(s System, spec PolicySpec, load []int, reps int, seed uint64) (E
 	if err != nil {
 		return Estimate{}, err
 	}
+	tm, err := opt.TransferMode.internal()
+	if err != nil {
+		return Estimate{}, err
+	}
+	cl, err := opt.ChurnLaw.internal()
+	if err != nil {
+		return Estimate{}, err
+	}
 	est, err := mc.Run(mc.Options{Reps: reps, Seed: seed}, func(r *xrand.Rand, rep int) (float64, error) {
-		out, err := sim.Run(sim.Options{Params: p, Policy: pol, InitialLoad: load, Rand: r})
+		out, err := sim.Run(sim.Options{
+			Params:         p,
+			Policy:         pol,
+			InitialLoad:    load,
+			Rand:           r,
+			TransferMode:   tm,
+			ChurnLaw:       cl,
+			ArrivalRate:    opt.ArrivalRate,
+			ArrivalBatch:   opt.ArrivalBatch,
+			ArrivalHorizon: opt.ArrivalHorizon,
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -428,4 +524,260 @@ func RunTestbed(s System, spec PolicySpec, load []int, seed uint64, opt TestbedO
 		res.Trace = append(res.Trace, TracePoint{Time: tp.Time, Event: string(tp.Kind), Node: tp.Node, Queues: tp.Queues})
 	}
 	return res, nil
+}
+
+// --- open-system serving API ---
+
+// RouterKind selects a dispatcher routing policy for Serve.
+type RouterKind int
+
+// Available routers.
+const (
+	// RouterUniform sends each arrival to a uniformly random node (the
+	// closed-model default).
+	RouterUniform RouterKind = iota
+	// RouterRoundRobin cycles through nodes in index order.
+	RouterRoundRobin
+	// RouterJSQ joins the shortest queue over all nodes (churn-blind).
+	RouterJSQ
+	// RouterPowerOfD joins the shortest of D sampled queues (churn-blind).
+	RouterPowerOfD
+	// RouterLeastExpectedWork joins the node with the least expected
+	// work, discounting down nodes by their expected recovery time (the
+	// churn-aware router). D = 0 scans all nodes; D > 0 samples D.
+	RouterLeastExpectedWork
+)
+
+// RouterSpec configures a dispatcher routing policy.
+type RouterSpec struct {
+	Kind RouterKind
+	// D is the number of choices for RouterPowerOfD (default 2) and
+	// RouterLeastExpectedWork (0 = scan all nodes).
+	D int
+}
+
+// build returns a fresh router instance (routers may be stateful per run)
+// or nil for RouterUniform.
+func (rs RouterSpec) build() (policy.Router, error) {
+	switch rs.Kind {
+	case RouterUniform:
+		return nil, nil
+	case RouterRoundRobin:
+		return policy.NewRoundRobin(), nil
+	case RouterJSQ:
+		return policy.JSQ{}, nil
+	case RouterPowerOfD:
+		return policy.PowerOfD{D: rs.D}, nil
+	case RouterLeastExpectedWork:
+		return policy.LeastExpectedWork{D: rs.D}, nil
+	default:
+		return nil, fmt.Errorf("churnlb: unknown router kind %d", rs.Kind)
+	}
+}
+
+// ServeOptions configures one open-system serving realisation.
+type ServeOptions struct {
+	// Rate is the external arrival rate in tasks/second (required
+	// positive); Batch is the tasks per arrival (default 1); Horizon the
+	// arrival window in seconds (required positive). The run ends when
+	// the backlog drains after the horizon.
+	Rate    float64
+	Batch   int
+	Horizon float64
+	// WaveAmplitude and WavePeriod, when WavePeriod > 0, modulate the
+	// arrival rate sinusoidally (diurnal pattern).
+	WaveAmplitude float64
+	WavePeriod    float64
+	// InitialLoad holds the tasks queued at t = 0; nil means empty queues.
+	InitialLoad []int
+	// InitialUp marks the nodes up at t = 0; nil means all up.
+	InitialUp []bool
+	// Window is the telemetry window width in seconds; 0 derives
+	// Horizon/100 (at least 0.1 s).
+	Window float64
+	// TransferMode and ChurnLaw select the delay and churn laws.
+	TransferMode TransferMode
+	ChurnLaw     ChurnLaw
+}
+
+// ServeWindow is one telemetry window of a serving run.
+type ServeWindow struct {
+	// Start and Width bound the window in simulated seconds.
+	Start, Width float64
+	// Throughput is completions/second; P99 the window-local sojourn
+	// 99th percentile (NaN when nothing completed); QueueDepth, InFlight
+	// and Availability time-weighted averages.
+	Throughput, P99, QueueDepth, InFlight, Availability float64
+}
+
+// ServeResult reports one open-system serving realisation.
+type ServeResult struct {
+	// Arrived and Completed count tasks injected and finished; Duration
+	// is the completion time of the last task in seconds.
+	Arrived, Completed int
+	Duration           float64
+	// P50, P90, P99 are sojourn-time percentiles (seconds) from
+	// fixed-memory P² sketches; MeanSojourn and MeanWait the averages of
+	// completion-arrival and first-service-arrival.
+	P50, P90, P99         float64
+	MeanSojourn, MeanWait float64
+	// Throughput is Completed/Duration; Availability the time-averaged
+	// fraction of nodes up; QueueDepth and InFlight time-averaged totals.
+	Throughput, Availability float64
+	QueueDepth, InFlight     float64
+	// Failures, Recoveries, TransfersSent, TasksTransferred mirror the
+	// closed-model counters.
+	Failures, Recoveries            int
+	TransfersSent, TasksTransferred int
+	// Utilization is each node's processed work as a fraction of its
+	// capacity over the run: processed/(λd·Duration).
+	Utilization []float64
+	// Windows holds the telemetry time series.
+	Windows []ServeWindow
+}
+
+// Serve runs one open-system serving realisation: tasks arrive as a
+// (possibly wave-modulated) Poisson stream, the router places each
+// arrival, the policy moves queued work, and fixed-memory telemetry
+// tracks per-task latency percentiles and windowed throughput, queue
+// depth, in-flight transfers and availability. Deterministic for a given
+// seed.
+func Serve(s System, spec PolicySpec, router RouterSpec, seed uint64, opt ServeOptions) (ServeResult, error) {
+	p, err := s.params()
+	if err != nil {
+		return ServeResult{}, err
+	}
+	if opt.Rate <= 0 || opt.Horizon <= 0 {
+		return ServeResult{}, fmt.Errorf("churnlb: Serve needs positive Rate and Horizon")
+	}
+	pol, err := spec.build()
+	if err != nil {
+		return ServeResult{}, err
+	}
+	// Validate the router spec eagerly (the factory below runs later).
+	if _, err := router.build(); err != nil {
+		return ServeResult{}, err
+	}
+	tm, err := opt.TransferMode.internal()
+	if err != nil {
+		return ServeResult{}, err
+	}
+	cl, err := opt.ChurnLaw.internal()
+	if err != nil {
+		return ServeResult{}, err
+	}
+	run, err := serve.Run(serve.Options{
+		Params: p,
+		Policy: pol,
+		NewRouter: func() policy.Router {
+			rt, _ := router.build()
+			return rt
+		},
+		InitialLoad:   opt.InitialLoad,
+		InitialUp:     opt.InitialUp,
+		Rate:          opt.Rate,
+		Batch:         opt.Batch,
+		Horizon:       opt.Horizon,
+		WaveAmplitude: opt.WaveAmplitude,
+		WavePeriod:    opt.WavePeriod,
+		Window:        opt.Window,
+		TransferMode:  tm,
+		ChurnLaw:      cl,
+		Seed:          seed,
+	})
+	if err != nil {
+		return ServeResult{}, err
+	}
+	sum, out := run.Summary, run.Sim
+	res := ServeResult{
+		Arrived:          sum.Arrived,
+		Completed:        sum.Completed,
+		Duration:         out.CompletionTime,
+		P50:              sum.P50,
+		P90:              sum.P90,
+		P99:              sum.P99,
+		MeanSojourn:      sum.MeanSojourn,
+		MeanWait:         sum.MeanWait,
+		Throughput:       sum.Throughput,
+		Availability:     sum.Availability,
+		QueueDepth:       sum.QueueDepth,
+		InFlight:         sum.InFlight,
+		Failures:         out.Failures,
+		Recoveries:       out.Recoveries,
+		TransfersSent:    out.TransfersSent,
+		TasksTransferred: out.TasksTransferred,
+		Utilization:      make([]float64, p.N()),
+	}
+	if out.CompletionTime > 0 {
+		for i, done := range out.Processed {
+			res.Utilization[i] = float64(done) / (p.ProcRate[i] * out.CompletionTime)
+		}
+	}
+	for _, w := range run.Windows {
+		res.Windows = append(res.Windows, ServeWindow{
+			Start:        w.Start,
+			Width:        w.Width,
+			Throughput:   w.Throughput,
+			P99:          w.P99,
+			QueueDepth:   w.QueueDepth,
+			InFlight:     w.InFlight,
+			Availability: w.Availability,
+		})
+	}
+	return res, nil
+}
+
+// ServeEstimate aggregates ServeMany replications: mean ± half-width of
+// the 95% CI for each serving statistic. Throughput and Availability
+// fold in every replication (a replication that completes nothing has
+// throughput 0, not a missing sample); the latency percentiles are
+// undefined for empty replications and skip them, so N — the latency
+// sample count — may be below Throughput.N.
+type ServeEstimate struct {
+	N                    int
+	P50, P99, Throughput Estimate
+	Availability         Estimate
+}
+
+// ServeMany runs reps independent serving realisations and aggregates
+// p50, p99, throughput and availability across them. Deterministic for a
+// given seed.
+func ServeMany(s System, spec PolicySpec, router RouterSpec, reps int, seed uint64, opt ServeOptions) (ServeEstimate, error) {
+	if reps <= 0 {
+		return ServeEstimate{}, fmt.Errorf("churnlb: ServeMany needs positive reps")
+	}
+	p50s := make([]float64, 0, reps)
+	p99s := make([]float64, 0, reps)
+	thr := make([]float64, 0, reps)
+	avail := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		res, err := Serve(s, spec, router, serve.MixSeed(seed, rep), opt)
+		if err != nil {
+			return ServeEstimate{}, fmt.Errorf("churnlb: serve replication %d: %w", rep, err)
+		}
+		thr = append(thr, res.Throughput)
+		avail = append(avail, res.Availability)
+		if res.Completed == 0 {
+			continue // an empty realisation has no latency sample
+		}
+		p50s = append(p50s, res.P50)
+		p99s = append(p99s, res.P99)
+	}
+	if len(p50s) == 0 {
+		return ServeEstimate{}, fmt.Errorf("churnlb: no serving replication completed a task")
+	}
+	est := ServeEstimate{
+		N:            len(p50s),
+		P50:          summarize(p50s),
+		P99:          summarize(p99s),
+		Throughput:   summarize(thr),
+		Availability: summarize(avail),
+	}
+	return est, nil
+}
+
+// summarize folds samples into the public Estimate shape.
+func summarize(xs []float64) Estimate {
+	s := stats.Summarize(xs)
+	return Estimate{N: s.N, Mean: s.Mean, Std: s.Std, CI95: s.CI95, Min: s.Min, Max: s.Max}
 }

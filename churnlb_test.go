@@ -164,3 +164,99 @@ func TestSystemValidationSurfacing(t *testing.T) {
 		t.Fatal("3-node system accepted by 2-node analytical API")
 	}
 }
+
+func TestServeReportsLatencyPercentiles(t *testing.T) {
+	res, err := Serve(PaperSystem(), PolicySpec{Kind: PolicyLBP2, K: 1},
+		RouterSpec{Kind: RouterLeastExpectedWork}, 5,
+		ServeOptions{Rate: 2, Horizon: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.Completed != res.Arrived {
+		t.Fatalf("served %d of %d tasks", res.Completed, res.Arrived)
+	}
+	if !(res.P50 > 0 && res.P50 <= res.P90 && res.P90 <= res.P99) {
+		t.Fatalf("percentiles not ordered: p50 %v p90 %v p99 %v", res.P50, res.P90, res.P99)
+	}
+	if res.MeanSojourn <= 0 || res.Throughput <= 0 {
+		t.Fatalf("degenerate summary: %+v", res)
+	}
+	if !(res.Availability > 0 && res.Availability <= 1) {
+		t.Fatalf("availability %v", res.Availability)
+	}
+	if len(res.Utilization) != 2 {
+		t.Fatalf("utilization entries %d, want 2", len(res.Utilization))
+	}
+	for i, u := range res.Utilization {
+		if u < 0 || u > 1.0001 {
+			t.Fatalf("utilization[%d] = %v", i, u)
+		}
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("no telemetry windows")
+	}
+}
+
+func TestServeIsDeterministic(t *testing.T) {
+	run := func() ServeResult {
+		res, err := Serve(PaperSystem(), PolicySpec{Kind: PolicyNone},
+			RouterSpec{Kind: RouterPowerOfD, D: 2}, 11,
+			ServeOptions{Rate: 3, Horizon: 30, WaveAmplitude: 0.5, WavePeriod: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Completed != b.Completed || a.P99 != b.P99 || a.Duration != b.Duration {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	if _, err := Serve(PaperSystem(), PolicySpec{}, RouterSpec{}, 1, ServeOptions{}); err == nil {
+		t.Fatal("rate/horizon 0 accepted")
+	}
+	if _, err := Serve(PaperSystem(), PolicySpec{}, RouterSpec{Kind: RouterKind(99)}, 1,
+		ServeOptions{Rate: 1, Horizon: 1}); err == nil {
+		t.Fatal("unknown router accepted")
+	}
+	if _, err := ServeMany(PaperSystem(), PolicySpec{}, RouterSpec{}, 0, 1,
+		ServeOptions{Rate: 1, Horizon: 1}); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
+func TestServeManyAggregates(t *testing.T) {
+	est, err := ServeMany(PaperSystem(), PolicySpec{Kind: PolicyLBP2, K: 1},
+		RouterSpec{Kind: RouterJSQ}, 8, 2, ServeOptions{Rate: 2, Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != 8 {
+		t.Fatalf("aggregated %d reps, want 8", est.N)
+	}
+	if !(est.P50.Mean > 0 && est.P99.Mean >= est.P50.Mean) {
+		t.Fatalf("estimate not ordered: %+v", est)
+	}
+}
+
+func TestMonteCarloOptsLaws(t *testing.T) {
+	sys := PaperSystem()
+	spec := PolicySpec{Kind: PolicyLBP2, K: 1}
+	base, err := MonteCarloOpts(sys, spec, []int{40, 20}, 40, 9, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := MonteCarloOpts(sys, spec, []int{40, 20}, 40, 9,
+		SimOptions{TransferMode: TransferPerTask, ChurnLaw: ChurnWeibull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Mean == alt.Mean {
+		t.Fatal("alternative laws produced identical estimates — flags not wired through")
+	}
+	if _, err := MonteCarloOpts(sys, spec, []int{1, 1}, 1, 1, SimOptions{ChurnLaw: ChurnLaw(9)}); err == nil {
+		t.Fatal("unknown churn law accepted")
+	}
+}

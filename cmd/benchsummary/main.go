@@ -1,0 +1,146 @@
+// Command benchsummary converts `go test -bench` output into a compact
+// JSON summary, so CI can persist the perf trajectory as a machine-
+// readable artifact alongside the raw benchstat-compatible text.
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchtime 1x ./... | tee bench.txt
+//	benchsummary -in bench.txt -out BENCH_smoke.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the b.N the line reports.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every value/unit pair on the line
+	// (ns/op, B/op, allocs/op, custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Summary is the emitted JSON document.
+type Summary struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS decoration (a dash
+// followed by digits only), leaving dashes inside benchmark or
+// sub-benchmark names intact.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// parse reads `go test -bench` output and extracts benchmark lines.
+func parse(r io.Reader) (Summary, error) {
+	var sum Summary
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			sum.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			sum.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // a header like "BenchmarkFoo 	" split across lines
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       stripProcSuffix(fields[0]),
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		sum.Benchmarks = append(sum.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return Summary{}, err
+	}
+	if len(sum.Benchmarks) == 0 {
+		return Summary{}, fmt.Errorf("no benchmark lines found")
+	}
+	return sum, nil
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchsummary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input file (default stdin)")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchsummary:", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	sum, err := parse(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchsummary:", err)
+		return 1
+	}
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchsummary:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(stderr, "benchsummary:", err)
+		return 1
+	}
+	return 0
+}

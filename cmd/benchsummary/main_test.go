@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: churnlb
+cpu: AMD EPYC 7B13
+BenchmarkSimN1000-8   	       1	  55012345 ns/op	    100000 tasks/op
+BenchmarkServeN1000-8 	       1	  81234567 ns/op	     99712 tasks/op	  123456 B/op	     789 allocs/op
+PASS
+ok  	churnlb	1.234s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	sum, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Goos != "linux" || sum.Goarch != "amd64" {
+		t.Fatalf("goos/goarch %q/%q", sum.Goos, sum.Goarch)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("benchmarks %d, want 2", len(sum.Benchmarks))
+	}
+	b := sum.Benchmarks[0]
+	if b.Name != "BenchmarkSimN1000" || b.Iterations != 1 {
+		t.Fatalf("first benchmark %+v", b)
+	}
+	if b.Metrics["ns/op"] != 55012345 || b.Metrics["tasks/op"] != 100000 {
+		t.Fatalf("metrics %v", b.Metrics)
+	}
+	if sum.Benchmarks[1].Metrics["allocs/op"] != 789 {
+		t.Fatalf("second metrics %v", sum.Benchmarks[1].Metrics)
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSimN1000-8":    "BenchmarkSimN1000",
+		"BenchmarkServe/n-100-8": "BenchmarkServe/n-100", // only the proc suffix goes
+		"BenchmarkServe/rate-5k": "BenchmarkServe/rate-5k",
+		"BenchmarkPlain":         "BenchmarkPlain",
+		"BenchmarkTrailing-":     "BenchmarkTrailing-",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRunFileToFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH_smoke.json")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-in", in, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(b, &sum); err != nil {
+		t.Fatalf("invalid JSON artifact: %v", err)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("round-tripped %d benchmarks, want 2", len(sum.Benchmarks))
+	}
+}
+
+func TestRunRejectsMissingInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-in", "/nonexistent/bench.txt"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,200 @@
+// Command lbserve runs the open-system serving layer: external tasks
+// arrive as a Poisson (optionally diurnal-wave) stream against a
+// generated cluster scenario, a dispatcher routing policy places each
+// arrival, and fixed-memory telemetry reports per-task latency
+// percentiles, throughput and availability.
+//
+// Examples:
+//
+//	lbserve -scenario hotspot -nodes 1000 -policy pod2 -rate 5000 -horizon 60
+//	lbserve -scenario diurnal -nodes 100 -policy lew -rate 100 -horizon 120
+//	lbserve -scenario correlated -nodes 200 -policy jsq -rate 200 -out results
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"churnlb"
+	"churnlb/internal/metrics"
+	"churnlb/internal/model"
+	"churnlb/internal/report"
+	"churnlb/internal/scenario"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// systemFrom converts generated scenario params to the public System.
+func systemFrom(p model.Params) churnlb.System {
+	s := churnlb.System{DelayPerTask: p.DelayPerTask}
+	for i := 0; i < p.N(); i++ {
+		s.Nodes = append(s.Nodes, churnlb.Node{
+			ProcRate: p.ProcRate[i], FailRate: p.FailRate[i], RecRate: p.RecRate[i],
+		})
+	}
+	return s
+}
+
+// routerFor maps the -policy spelling to a router and balancing policy.
+func routerFor(name string, k float64, d int) (churnlb.RouterSpec, churnlb.PolicySpec, error) {
+	pol := churnlb.PolicySpec{Kind: churnlb.PolicyNone}
+	switch name {
+	case "uniform":
+		return churnlb.RouterSpec{Kind: churnlb.RouterUniform}, pol, nil
+	case "rr":
+		return churnlb.RouterSpec{Kind: churnlb.RouterRoundRobin}, pol, nil
+	case "jsq":
+		return churnlb.RouterSpec{Kind: churnlb.RouterJSQ}, pol, nil
+	case "pod2":
+		return churnlb.RouterSpec{Kind: churnlb.RouterPowerOfD, D: 2}, pol, nil
+	case "pod3":
+		return churnlb.RouterSpec{Kind: churnlb.RouterPowerOfD, D: 3}, pol, nil
+	case "lew":
+		return churnlb.RouterSpec{Kind: churnlb.RouterLeastExpectedWork, D: d}, pol, nil
+	case "dynlbp2":
+		// The paper's dynamic extension: uniform dispatch, LBP-2
+		// rebalancing at every arrival.
+		return churnlb.RouterSpec{Kind: churnlb.RouterUniform},
+			churnlb.PolicySpec{Kind: churnlb.PolicyDynamicLBP2, K: k}, nil
+	default:
+		return churnlb.RouterSpec{}, pol,
+			fmt.Errorf("unknown policy %q (want uniform, rr, jsq, pod2, pod3, lew or dynlbp2)", name)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lbserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenStr = fs.String("scenario", "hotspot", "cluster scenario: uniform, hotspot, correlated, flashcrowd, diurnal")
+		nodes   = fs.Int("nodes", 100, "node count")
+		load    = fs.Int("load", 0, "scenario workload; the queued portion becomes the t = 0 backlog (any scenario-generated burst is superseded by -rate/-horizon)")
+		polStr  = fs.String("policy", "pod2", "routing policy: uniform, rr, jsq, pod2, pod3, lew, dynlbp2")
+		k       = fs.Float64("k", 1.0, "LB gain for dynlbp2")
+		d       = fs.Int("d", 0, "lew sample size (0 = scan all nodes)")
+		rate    = fs.Float64("rate", 100, "arrival rate, tasks/s")
+		batch   = fs.Int("batch", 1, "tasks per arrival")
+		horizon = fs.Float64("horizon", 60, "arrival window, s (the run then drains)")
+		delta   = fs.Float64("delta", 0.02, "mean transfer delay per task, s")
+		window  = fs.Float64("window", 0, "telemetry window, s (0 = horizon/100)")
+		seed    = fs.Uint64("seed", 1, "root seed")
+		outDir  = fs.String("out", "", "directory for the telemetry time-series CSV ('' disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	kind, err := scenario.ParseKind(*scenStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbserve:", err)
+		return 2
+	}
+	router, pol, err := routerFor(*polStr, *k, *d)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbserve:", err)
+		return 2
+	}
+	sc, err := scenario.Generate(scenario.Spec{
+		Kind:         kind,
+		N:            *nodes,
+		TotalLoad:    *load,
+		Seed:         *seed,
+		DelayPerTask: *delta,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "lbserve:", err)
+		return 2
+	}
+
+	opt := churnlb.ServeOptions{
+		Rate:        *rate,
+		Batch:       *batch,
+		Horizon:     *horizon,
+		InitialLoad: sc.InitialLoad,
+		InitialUp:   sc.InitialUp,
+		Window:      *window,
+	}
+	if kind == scenario.Diurnal {
+		// The scenario supplies the wave shape when -load generated one;
+		// otherwise default to two cycles across the horizon. The -rate
+		// flag always sets the mean level.
+		opt.WaveAmplitude, opt.WavePeriod = sc.WaveAmplitude, sc.WavePeriod
+		if opt.WavePeriod <= 0 {
+			opt.WaveAmplitude, opt.WavePeriod = 0.8, *horizon/2
+		}
+	}
+
+	res, err := churnlb.Serve(systemFrom(sc.Params), pol, router, *seed, opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbserve:", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "scenario %s policy %s rate %.4g/s horizon %.4gs delta %.4gs\n",
+		sc.Name, *polStr, *rate, *horizon, *delta)
+	if sc.ArrivalRate > 0 {
+		// Flashcrowd/diurnal specs split -load into backlog + burst; the
+		// serving stream comes from -rate/-horizon instead, so say what
+		// happened to the rest.
+		burst := *load - sc.TotalQueued()
+		fmt.Fprintf(stdout, "note: %d of %d -load tasks queued at t=0; the scenario's ≈%d-task burst is superseded by the -rate stream\n",
+			sc.TotalQueued(), *load, burst)
+	}
+	// Arrived already counts the initial backlog (the collector sees the
+	// t = 0 queues as arrivals).
+	fmt.Fprintf(stdout, "served %d of %d tasks in %.2f s (throughput %.2f/s)\n",
+		res.Completed, res.Arrived, res.Duration, res.Throughput)
+	fmt.Fprintf(stdout, "sojourn p50 %.3f s  p90 %.3f s  p99 %.3f s  (mean %.3f s, mean wait %.3f s)\n",
+		res.P50, res.P90, res.P99, res.MeanSojourn, res.MeanWait)
+	fmt.Fprintf(stdout, "availability %.1f%%  failures %d  recoveries %d  transfers %d (%d tasks)\n",
+		100*res.Availability, res.Failures, res.Recoveries, res.TransfersSent, res.TasksTransferred)
+	var meanU, maxU float64
+	for _, u := range res.Utilization {
+		meanU += u
+		if u > maxU {
+			maxU = u
+		}
+	}
+	if n := len(res.Utilization); n > 0 {
+		meanU /= float64(n)
+	}
+	fmt.Fprintf(stdout, "utilization mean %.1f%%  max %.1f%%  queue depth %.1f  in flight %.1f\n",
+		100*meanU, 100*maxU, res.QueueDepth, res.InFlight)
+
+	if *outDir != "" {
+		path, err := report.SaveCSV(*outDir, "serve_timeseries.csv", func(w io.Writer) error {
+			return report.WriteTimeSeriesCSV(w, metrics.ToTimeSeries(windowStats(res.Windows)))
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "lbserve:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote: %s\n", path)
+	}
+	return 0
+}
+
+// windowStats converts the public window shape back to the telemetry
+// one, so the CSV columns stay defined in exactly one place
+// (metrics.ToTimeSeries).
+func windowStats(ws []churnlb.ServeWindow) []metrics.WindowStats {
+	out := make([]metrics.WindowStats, len(ws))
+	for i, w := range ws {
+		out[i] = metrics.WindowStats{
+			Start:        w.Start,
+			Width:        w.Width,
+			Throughput:   w.Throughput,
+			P99:          w.P99,
+			QueueDepth:   w.QueueDepth,
+			InFlight:     w.InFlight,
+			Availability: w.Availability,
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBadFlagsRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-policy", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown policy: exit %d, want 2", code)
+	}
+	if code := run([]string{"-scenario", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scenario: exit %d, want 2", code)
+	}
+	if code := run([]string{"-rate", "0"}, &out, &errb); code != 1 {
+		t.Fatalf("zero rate: exit %d, want 1", code)
+	}
+}
+
+func TestServeSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-scenario", "hotspot", "-nodes", "40", "-policy", "pod2",
+		"-rate", "50", "-horizon", "10"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"scenario hotspot-n40", "p50", "p90", "p99", "throughput", "availability", "utilization"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestServeEveryPolicy(t *testing.T) {
+	for _, pol := range []string{"uniform", "rr", "jsq", "pod2", "pod3", "lew", "dynlbp2"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-scenario", "uniform", "-nodes", "20", "-policy", pol,
+			"-rate", "20", "-horizon", "5"}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", pol, code, errb.String())
+		}
+	}
+}
+
+func TestServeDiurnalWave(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-scenario", "diurnal", "-nodes", "20", "-policy", "lew",
+		"-rate", "20", "-horizon", "20"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "scenario diurnal-n20") {
+		t.Fatalf("missing diurnal summary: %s", out.String())
+	}
+}
+
+func TestServeWritesTimeSeries(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{"-scenario", "uniform", "-nodes", "20", "-policy", "jsq",
+		"-rate", "20", "-horizon", "5", "-out", dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "serve_timeseries.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "time,throughput,p99,queue_depth,in_flight,availability\n") {
+		t.Fatalf("unexpected CSV header: %.80s", b)
+	}
+}

@@ -7,8 +7,10 @@
 //	lbsim -m0 100 -m1 60 -policy lbp1 -k 0.35 -reps 5000
 //	lbsim -m0 100 -m1 60 -policy lbp2 -k 1 -delta 3 -reps 5000
 //	lbsim -m0 100 -m1 60 -policy none -trace   # one traced realisation
+//	lbsim -m0 100 -m1 60 -policy lbp1multi -transfer pertask -churn weibull
 //	lbsim -scenario hotspot -nodes 200 -load 20000 -policy lbp2 -reps 200
 //	lbsim -scenario flashcrowd -nodes 1000 -load 100000 -policy lbp1 -reps 1
+//	lbsim -scenario diurnal -nodes 100 -load 20000 -policy dynamic -reps 50
 package main
 
 import (
@@ -34,7 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		m0       = fs.Int("m0", 100, "initial tasks at node 0 (two-node mode)")
 		m1       = fs.Int("m1", 60, "initial tasks at node 1 (two-node mode)")
-		polStr   = fs.String("policy", "lbp2", "policy: lbp1, lbp2, none, dynamic")
+		polStr   = fs.String("policy", "lbp2", "policy: lbp1, lbp1multi, lbp2, none, dynamic")
 		k        = fs.Float64("k", 1.0, "LB gain")
 		sender   = fs.Int("sender", churnlb.AutoSender, "LBP-1 sender (-1 = auto)")
 		delta    = fs.Float64("delta", 0.02, "mean transfer delay per task (s)")
@@ -42,7 +44,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reps     = fs.Int("reps", 5000, "Monte-Carlo replications")
 		seed     = fs.Uint64("seed", 1, "root seed")
 		trace    = fs.Bool("trace", false, "run a single traced realisation instead (two-node mode)")
-		scenStr  = fs.String("scenario", "", "large-cluster scenario: uniform, hotspot, correlated, flashcrowd")
+		transfer = fs.String("transfer", "bundle", "transfer-delay law: bundle, pertask")
+		churn    = fs.String("churn", "exp", "failure/recovery law: exp, weibull, det")
+		scenStr  = fs.String("scenario", "", "large-cluster scenario: uniform, hotspot, correlated, flashcrowd, diurnal")
 		nodes    = fs.Int("nodes", 100, "scenario node count")
 		loadFlag = fs.Int("load", 10000, "scenario total tasks")
 	)
@@ -53,8 +57,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	tm, stm, err := parseTransfer(*transfer)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbsim:", err)
+		return 2
+	}
+	cl, scl, err := parseChurn(*churn)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbsim:", err)
+		return 2
+	}
+
 	if *scenStr != "" {
-		return runScenario(stdout, stderr, *scenStr, *polStr, *nodes, *loadFlag, *reps, *seed, *k, *delta)
+		return runScenario(stdout, stderr, *scenStr, *polStr, *nodes, *loadFlag, *reps, *seed, *k, *delta, stm, scl)
 	}
 
 	sys := churnlb.PaperSystem().WithDelay(*delta)
@@ -65,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch *polStr {
 	case "lbp1":
 		spec = churnlb.PolicySpec{Kind: churnlb.PolicyLBP1, K: *k, Sender: *sender}
+	case "lbp1multi":
+		spec = churnlb.PolicySpec{Kind: churnlb.PolicyLBP1Multi, K: *k}
 	case "lbp2":
 		spec = churnlb.PolicySpec{Kind: churnlb.PolicyLBP2, K: *k}
 	case "none":
@@ -76,9 +93,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	load := []int{*m0, *m1}
+	opts := churnlb.SimOptions{TransferMode: tm, ChurnLaw: cl}
 
 	if *trace {
-		res, err := churnlb.Simulate(sys, spec, load, *seed, churnlb.SimOptions{Trace: true})
+		opts.Trace = true
+		res, err := churnlb.Simulate(sys, spec, load, *seed, opts)
 		if err != nil {
 			fmt.Fprintln(stderr, "lbsim:", err)
 			return 1
@@ -91,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	est, err := churnlb.MonteCarlo(sys, spec, load, *reps, *seed)
+	est, err := churnlb.MonteCarloOpts(sys, spec, load, *reps, *seed, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "lbsim:", err)
 		return 1
@@ -101,9 +120,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// parseTransfer maps the -transfer spelling to the public and simulator
+// enums in one place, so the two-node (public API) and scenario
+// (internal) paths cannot drift.
+func parseTransfer(s string) (churnlb.TransferMode, sim.TransferMode, error) {
+	switch s {
+	case "bundle":
+		return churnlb.TransferBundle, sim.TransferBundle, nil
+	case "pertask":
+		return churnlb.TransferPerTask, sim.TransferPerTask, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown transfer mode %q (want bundle or pertask)", s)
+	}
+}
+
+// parseChurn maps the -churn spelling to the public and simulator enums.
+func parseChurn(s string) (churnlb.ChurnLaw, sim.ChurnLaw, error) {
+	switch s {
+	case "exp":
+		return churnlb.ChurnExponential, sim.ChurnExponential, nil
+	case "weibull":
+		return churnlb.ChurnWeibull, sim.ChurnWeibull, nil
+	case "det":
+		return churnlb.ChurnDeterministic, sim.ChurnDeterministic, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown churn law %q (want exp, weibull or det)", s)
+	}
+}
+
 // runScenario runs a generated large-cluster scenario: a Monte-Carlo
 // study for reps > 1, a single summarised realisation for reps = 1.
-func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalLoad, reps int, seed uint64, k, delta float64) int {
+func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalLoad, reps int, seed uint64, k, delta float64, stm sim.TransferMode, scl sim.ChurnLaw) int {
 	kind, err := scenario.ParseKind(scenStr)
 	if err != nil {
 		fmt.Fprintln(stderr, "lbsim:", err)
@@ -111,7 +158,7 @@ func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalL
 	}
 	var pol policy.Policy
 	switch polStr {
-	case "lbp1":
+	case "lbp1", "lbp1multi":
 		pol = policy.LBP1Multi{K: k} // N-node generalisation of LBP-1
 	case "lbp2":
 		pol = policy.LBP2{K: k}
@@ -134,9 +181,15 @@ func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalL
 		fmt.Fprintln(stderr, "lbsim:", err)
 		return 2
 	}
+	options := func(r *xrand.Rand) sim.Options {
+		o := sc.Options(pol, r)
+		o.TransferMode = stm
+		o.ChurnLaw = scl
+		return o
+	}
 
 	if reps <= 1 {
-		res, err := sim.Run(sc.Options(pol, xrand.NewStream(seed, 0)))
+		res, err := sim.Run(options(xrand.NewStream(seed, 0)))
 		if err != nil {
 			fmt.Fprintln(stderr, "lbsim:", err)
 			return 1
@@ -147,7 +200,7 @@ func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalL
 		return 0
 	}
 	est, err := mc.Run(mc.Options{Reps: reps, Seed: seed}, func(r *xrand.Rand, rep int) (float64, error) {
-		out, err := sim.Run(sc.Options(pol, r))
+		out, err := sim.Run(options(r))
 		if err != nil {
 			return 0, err
 		}

@@ -17,6 +17,12 @@ func TestBadFlagsRejected(t *testing.T) {
 	if code := run([]string{"-scenario", "nonsense"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown scenario: exit %d, want 2", code)
 	}
+	if code := run([]string{"-transfer", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown transfer mode: exit %d, want 2", code)
+	}
+	if code := run([]string{"-churn", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown churn law: exit %d, want 2", code)
+	}
 }
 
 func TestTwoNodeMonteCarlo(t *testing.T) {
@@ -49,6 +55,45 @@ func TestScenarioSingleRealisation(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "scenario hotspot-n50") {
 		t.Fatalf("missing scenario summary: %s", out.String())
+	}
+}
+
+func TestTransferAndChurnFlags(t *testing.T) {
+	// The same seed under different transfer/churn laws must run clean
+	// and produce different estimates — proof the flags reach the
+	// simulator.
+	estimate := func(extra ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		args := append([]string{"-m0", "30", "-m1", "10", "-policy", "lbp2", "-reps", "40", "-seed", "5"}, extra...)
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d, stderr: %s", extra, code, errb.String())
+		}
+		return out.String()
+	}
+	base := estimate()
+	pertask := estimate("-transfer", "pertask")
+	weibull := estimate("-churn", "weibull")
+	det := estimate("-churn", "det")
+	if base == pertask || base == weibull || base == det {
+		t.Fatalf("alternative laws did not change the estimate:\n%s%s%s%s", base, pertask, weibull, det)
+	}
+}
+
+func TestLBP1MultiPolicy(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-m0", "30", "-m1", "10", "-policy", "lbp1multi", "-reps", "20", "-seed", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("two-node lbp1multi: exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	code = run([]string{"-scenario", "uniform", "-nodes", "20", "-load", "400",
+		"-policy", "lbp1multi", "-reps", "1", "-churn", "det", "-transfer", "pertask"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("scenario lbp1multi: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "LBP-1-multi") {
+		t.Fatalf("policy name missing: %s", out.String())
 	}
 }
 

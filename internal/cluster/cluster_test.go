@@ -149,6 +149,11 @@ func TestTraceRecordsQueueEvolution(t *testing.T) {
 func TestStatePacketsFlow(t *testing.T) {
 	cfg := fastConfig([]int{60, 60}, nil)
 	cfg.StateInterval = 0.5
+	// Run slower than fastConfig: at TimeScale 4000 the whole run lasts
+	// only a few ticker periods of wall time, and under the race
+	// detector's slowdown the broadcast ticker may never fire before the
+	// workload drains.
+	cfg.TimeScale = 500
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

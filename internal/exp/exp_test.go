@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"churnlb/internal/scenario"
 )
 
 func quickCfg(t *testing.T) Config {
@@ -17,7 +19,7 @@ func quickCfg(t *testing.T) Config {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3",
-		"ablate", "churnlaw", "multinode", "dynamic", "scale"}
+		"ablate", "churnlaw", "multinode", "dynamic", "scale", "serve"}
 	ids := IDs()
 	for _, id := range want {
 		found := false
@@ -295,6 +297,57 @@ func TestDynamicArrivalsExperiment(t *testing.T) {
 	}
 }
 
+func TestServeCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MC heavy")
+	}
+	res, err := runServe(quickCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 8 {
+		t.Fatalf("serve rows %d, want 2 deltas x 4 policies", len(rows))
+	}
+	parse := func(cell string) float64 {
+		v, _ := strconv.ParseFloat(strings.Fields(cell)[0], 64)
+		return v
+	}
+	p99 := make(map[string]map[string]float64)    // delta -> policy -> p99
+	flight := make(map[string]map[string]float64) // delta -> policy -> mean in-flight
+	for _, row := range rows {
+		if p99[row[0]] == nil {
+			p99[row[0]] = make(map[string]float64)
+			flight[row[0]] = make(map[string]float64)
+		}
+		p99[row[0]][row[1]] = parse(row[3])
+		flight[row[0]][row[1]] = parse(row[5])
+	}
+	// The acceptance claim: churn-aware routing beats churn-blind JSQ on
+	// p99 when the transfer delay is large relative to the recovery time.
+	large := p99["30.00"]
+	if large == nil {
+		t.Fatalf("no delta=30 rows in %v", p99)
+	}
+	if !(large["lew"] < large["jsq"]) {
+		t.Errorf("churn-aware lew p99 %v must beat churn-blind jsq %v at large delta", large["lew"], large["jsq"])
+	}
+	// The cost of balancing aggressively grows with delta: the dynamic
+	// rebalancer's average in-flight work must blow up at the large delay
+	// while the pure routers keep nothing in the air.
+	if !(flight["30.00"]["dynlbp2"] > 10*flight["0.02"]["dynlbp2"]) {
+		t.Errorf("dynlbp2 in-flight %v at delta=30 must dwarf %v at delta=0.02",
+			flight["30.00"]["dynlbp2"], flight["0.02"]["dynlbp2"])
+	}
+	if f := flight["30.00"]["lew"]; f != 0 {
+		t.Errorf("lew keeps %v tasks in flight, want 0 (routers never transfer)", f)
+	}
+	// The comparison table must land in results/ (the OutDir).
+	if len(res.Files) == 0 {
+		t.Error("serve experiment wrote no artifacts")
+	}
+}
+
 func TestScaleScenarioSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("MC heavy")
@@ -304,7 +357,7 @@ func TestScaleScenarioSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := res.Tables[0].Rows
-	if len(rows) != 4 {
+	if len(rows) != len(scenario.Kinds()) {
 		t.Fatalf("scale rows %d, want one per scenario family", len(rows))
 	}
 	parse := func(cell string) float64 {

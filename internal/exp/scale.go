@@ -67,7 +67,7 @@ func runScale(cfg Config) (*Result, error) {
 	}
 	res.Tables = append(res.Tables, tbl)
 	res.Notes = append(res.Notes,
-		"extension: the scenario engine (internal/scenario) generates heterogeneous clusters — uniform, hotspot, correlated-failure and flash-crowd — far beyond the paper's two nodes",
+		"extension: the scenario engine (internal/scenario) generates heterogeneous clusters — uniform, hotspot, correlated-failure, flash-crowd and diurnal — far beyond the paper's two nodes",
 		"the simulator's O(1)-per-event accounting keeps these runs linear in the event count")
 	return res, saveArtifacts(cfg, res)
 }

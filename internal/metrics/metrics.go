@@ -1,0 +1,436 @@
+// Package metrics provides fixed-memory streaming telemetry for the
+// open-system serving layer: P² quantile sketches for sojourn-time
+// percentiles and a time-windowed Collector that turns the simulator's
+// TaskObserver callbacks into throughput, queue-depth, in-flight and
+// availability time series.
+//
+// Everything here does O(1) work per observed task and holds O(windows)
+// memory no matter how many tasks flow through — the property the
+// BenchmarkServeN1000 acceptance bar guards. When a run outlives the
+// configured window budget, adjacent windows are merged pairwise and the
+// window width doubles, so arbitrarily long runs stay within the budget.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"churnlb/internal/report"
+)
+
+// P2 is the Jain–Chlamtac P² streaming quantile estimator: five markers
+// tracking a single quantile p in O(1) time and memory per observation.
+// The zero value is not ready; use NewP2.
+type P2 struct {
+	p    float64
+	n    int
+	q    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions (1-based)
+	want [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increments per observation
+}
+
+// NewP2 returns an estimator for the p-th quantile, p in (0, 1).
+func NewP2(p float64) *P2 {
+	if !(p > 0 && p < 1) {
+		panic("metrics: P2 quantile must be in (0,1)")
+	}
+	e := &P2{p: p}
+	e.Reset()
+	return e
+}
+
+// Reset discards all observations, keeping the target quantile.
+func (e *P2) Reset() {
+	p := e.p
+	*e = P2{p: p}
+	e.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+}
+
+// N returns the number of observations folded in.
+func (e *P2) N() int { return e.n }
+
+// Add folds one observation into the sketch.
+func (e *P2) Add(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	// Locate the cell containing x, clamping the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		k = 0
+		for x >= e.q[k+1] {
+			k++
+		}
+	}
+	e.n++
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.inc[i]
+	}
+	// Adjust the interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			q := e.parabolic(i, sign)
+			if !(e.q[i-1] < q && q < e.q[i+1]) {
+				q = e.linear(i, sign)
+			}
+			e.q[i] = q
+			e.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker update.
+func (e *P2) parabolic(i int, d float64) float64 {
+	num1 := e.pos[i] - e.pos[i-1] + d
+	num2 := e.pos[i+1] - e.pos[i] - d
+	den := e.pos[i+1] - e.pos[i-1]
+	return e.q[i] + d/den*(num1*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+		num2*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback when the parabolic prediction leaves the bracket.
+func (e *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact small-sample quantile; with
+// none it returns NaN.
+func (e *P2) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if e.n < 5 {
+		s := append([]float64(nil), e.q[:e.n]...)
+		sort.Float64s(s)
+		i := int(e.p * float64(e.n))
+		if i >= e.n {
+			i = e.n - 1
+		}
+		return s[i]
+	}
+	return e.q[2]
+}
+
+// WindowStats summarises one time window of a serving run.
+type WindowStats struct {
+	// Start and Width bound the window [Start, Start+Width).
+	Start, Width float64
+	// Completions counts tasks finished inside the window; Throughput is
+	// Completions/Width.
+	Completions int
+	Throughput  float64
+	// P99 is the window-local sojourn-time 99th percentile (NaN when no
+	// task completed in the window). After a merge it is the max of the
+	// merged windows' values — an upper bound, not a recombined sketch.
+	P99 float64
+	// QueueDepth, InFlight and Availability are time-weighted averages
+	// over the window: total queued tasks, tasks in transfer flight, and
+	// the fraction of nodes up.
+	QueueDepth, InFlight, Availability float64
+}
+
+// winAcc is the internal accumulator behind a WindowStats.
+type winAcc struct {
+	start, width                  float64
+	completions                   int
+	queuedInt, inFlightInt, upInt float64 // time integrals within the window
+	p99                           float64
+}
+
+// DefaultMaxWindows bounds the windowed series; beyond it adjacent
+// windows merge and the width doubles.
+const DefaultMaxWindows = 4096
+
+// Collector implements the simulator's TaskObserver, accumulating
+// fixed-memory percentile sketches plus windowed time series. It is not
+// safe for concurrent use; give each realisation its own Collector.
+type Collector struct {
+	n          int
+	window     float64
+	maxWindows int
+
+	// continuous state, integrated between events
+	lastT    float64
+	upCount  int
+	queued   int
+	inFlight int
+
+	// whole-run aggregates
+	completed, arrived     int
+	sojournSum, waitSum    float64
+	waited                 int
+	p50, p90, p99          *P2
+	totQueued, totInFlight float64 // time integrals over the whole run
+	totUp                  float64
+
+	windows []winAcc
+	cur     winAcc
+	curP99  *P2
+}
+
+// NewCollector returns a collector for n nodes (all initially up; the
+// simulator reports initially-down nodes at t = 0) with the given window
+// width in simulated seconds.
+func NewCollector(n int, window float64) *Collector {
+	if n <= 0 || window <= 0 {
+		panic("metrics: NewCollector needs positive n and window")
+	}
+	return &Collector{
+		n:          n,
+		window:     window,
+		maxWindows: DefaultMaxWindows,
+		upCount:    n,
+		p50:        NewP2(0.50),
+		p90:        NewP2(0.90),
+		p99:        NewP2(0.99),
+		cur:        winAcc{start: 0, width: window},
+		curP99:     NewP2(0.99),
+	}
+}
+
+// advance integrates the continuous state from lastT to t, rolling
+// completed windows into the series.
+func (c *Collector) advance(t float64) {
+	for t >= c.cur.start+c.cur.width {
+		end := c.cur.start + c.cur.width
+		c.integrate(end)
+		c.closeWindow()
+	}
+	c.integrate(t)
+}
+
+func (c *Collector) integrate(t float64) {
+	dt := t - c.lastT
+	if dt <= 0 {
+		return
+	}
+	c.cur.queuedInt += dt * float64(c.queued)
+	c.cur.inFlightInt += dt * float64(c.inFlight)
+	c.cur.upInt += dt * float64(c.upCount)
+	c.totQueued += dt * float64(c.queued)
+	c.totInFlight += dt * float64(c.inFlight)
+	c.totUp += dt * float64(c.upCount)
+	c.lastT = t
+}
+
+func (c *Collector) closeWindow() {
+	c.cur.p99 = c.curP99.Value()
+	c.windows = append(c.windows, c.cur)
+	c.cur = winAcc{start: c.cur.start + c.cur.width, width: c.window}
+	c.curP99.Reset()
+	if len(c.windows) >= c.maxWindows {
+		c.mergeWindows()
+	}
+}
+
+// mergeWindows halves the series by combining adjacent pairs and doubles
+// the width of all future windows, keeping memory bounded on runs of any
+// length.
+func (c *Collector) mergeWindows() {
+	half := len(c.windows) / 2
+	for i := 0; i < half; i++ {
+		a, b := c.windows[2*i], c.windows[2*i+1]
+		m := winAcc{
+			start:       a.start,
+			width:       a.width + b.width,
+			completions: a.completions + b.completions,
+			queuedInt:   a.queuedInt + b.queuedInt,
+			inFlightInt: a.inFlightInt + b.inFlightInt,
+			upInt:       a.upInt + b.upInt,
+			p99:         math.Max(a.p99, b.p99),
+		}
+		if math.IsNaN(a.p99) {
+			m.p99 = b.p99
+		} else if math.IsNaN(b.p99) {
+			m.p99 = a.p99
+		}
+		c.windows[i] = m
+	}
+	if len(c.windows)%2 == 1 {
+		c.windows[half] = c.windows[len(c.windows)-1]
+		half++
+	}
+	c.windows = c.windows[:half]
+	c.window *= 2
+	c.cur.width = c.window
+}
+
+// --- sim.TaskObserver implementation ---
+
+// TasksArrived implements the observer hook.
+func (c *Collector) TasksArrived(_, count int, t float64) {
+	c.advance(t)
+	c.queued += count
+	c.arrived += count
+}
+
+// TaskCompleted implements the observer hook.
+func (c *Collector) TaskCompleted(_ int, arrival, firstService, completion float64) {
+	c.advance(completion)
+	c.queued--
+	c.completed++
+	s := completion - arrival
+	c.sojournSum += s
+	c.p50.Add(s)
+	c.p90.Add(s)
+	c.p99.Add(s)
+	c.curP99.Add(s)
+	c.cur.completions++
+	if firstService >= 0 {
+		c.waitSum += firstService - arrival
+		c.waited++
+	}
+}
+
+// NodeStateChanged implements the observer hook.
+func (c *Collector) NodeStateChanged(_ int, up bool, t float64) {
+	c.advance(t)
+	if up {
+		c.upCount++
+	} else {
+		c.upCount--
+	}
+}
+
+// TransferDeparted implements the observer hook.
+func (c *Collector) TransferDeparted(_, _, tasks int, t float64) {
+	c.advance(t)
+	c.queued -= tasks
+	c.inFlight += tasks
+}
+
+// TransferArrived implements the observer hook.
+func (c *Collector) TransferArrived(_, tasks int, t float64) {
+	c.advance(t)
+	c.inFlight -= tasks
+	c.queued += tasks
+}
+
+// --- results ---
+
+// Summary is the whole-run aggregate view of a serving realisation.
+type Summary struct {
+	// Arrived and Completed count tasks entering and leaving the system.
+	Arrived, Completed int
+	// Elapsed is the observation span in simulated seconds.
+	Elapsed float64
+	// P50, P90, P99 are streaming sojourn-time percentile estimates.
+	P50, P90, P99 float64
+	// MeanSojourn and MeanWait average completion-arrival and
+	// firstService-arrival over completed tasks.
+	MeanSojourn, MeanWait float64
+	// Throughput is Completed/Elapsed.
+	Throughput float64
+	// QueueDepth, InFlight and Availability are time-weighted averages
+	// over the whole run.
+	QueueDepth, InFlight, Availability float64
+}
+
+// Finalize integrates up to t (the end of the run) and returns the
+// whole-run summary. The collector can keep accumulating afterwards.
+func (c *Collector) Finalize(t float64) Summary {
+	c.advance(t)
+	s := Summary{
+		Arrived:   c.arrived,
+		Completed: c.completed,
+		Elapsed:   c.lastT,
+		P50:       c.p50.Value(),
+		P90:       c.p90.Value(),
+		P99:       c.p99.Value(),
+	}
+	if c.completed > 0 {
+		s.MeanSojourn = c.sojournSum / float64(c.completed)
+	}
+	if c.waited > 0 {
+		s.MeanWait = c.waitSum / float64(c.waited)
+	}
+	if c.lastT > 0 {
+		s.Throughput = float64(c.completed) / c.lastT
+		s.QueueDepth = c.totQueued / c.lastT
+		s.InFlight = c.totInFlight / c.lastT
+		s.Availability = c.totUp / (c.lastT * float64(c.n))
+	} else {
+		s.Availability = float64(c.upCount) / float64(c.n)
+	}
+	return s
+}
+
+// Windows returns the closed windows plus the in-progress one (trimmed to
+// the last integrated instant), as exportable WindowStats.
+func (c *Collector) Windows() []WindowStats {
+	out := make([]WindowStats, 0, len(c.windows)+1)
+	for _, w := range c.windows {
+		out = append(out, c.export(w, w.width))
+	}
+	if span := c.lastT - c.cur.start; span > 0 {
+		last := c.cur
+		last.p99 = c.curP99.Value()
+		out = append(out, c.export(last, span))
+	}
+	return out
+}
+
+func (c *Collector) export(w winAcc, span float64) WindowStats {
+	ws := WindowStats{
+		Start:       w.start,
+		Width:       span,
+		Completions: w.completions,
+		P99:         w.p99,
+	}
+	if span > 0 {
+		ws.Throughput = float64(w.completions) / span
+		ws.QueueDepth = w.queuedInt / span
+		ws.InFlight = w.inFlightInt / span
+		ws.Availability = w.upInt / (span * float64(c.n))
+	}
+	return ws
+}
+
+// ToTimeSeries flattens telemetry windows into the report CSV shape —
+// the single definition of the serving time-series columns, shared by
+// cmd/lbserve and the serve experiment.
+func ToTimeSeries(ws []WindowStats) report.TimeSeries {
+	ts := report.TimeSeries{}
+	var thr, p99, depth, flight, avail []float64
+	for _, w := range ws {
+		ts.Time = append(ts.Time, w.Start)
+		thr = append(thr, w.Throughput)
+		p99 = append(p99, w.P99)
+		depth = append(depth, w.QueueDepth)
+		flight = append(flight, w.InFlight)
+		avail = append(avail, w.Availability)
+	}
+	ts.AddColumn("throughput", thr)
+	ts.AddColumn("p99", p99)
+	ts.AddColumn("queue_depth", depth)
+	ts.AddColumn("in_flight", flight)
+	ts.AddColumn("availability", avail)
+	return ts
+}

@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"churnlb/internal/xrand"
+)
+
+func exactQuantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// TestP2TracksKnownDistributions checks the sketch against exact sample
+// quantiles on exponential and uniform streams.
+func TestP2TracksKnownDistributions(t *testing.T) {
+	rng := xrand.New(11)
+	const n = 20000
+	exp := make([]float64, n)
+	uni := make([]float64, n)
+	for i := range exp {
+		exp[i] = rng.ExpMean(3)
+		uni[i] = rng.Float64() * 10
+	}
+	for _, tc := range []struct {
+		name    string
+		samples []float64
+		q       float64
+		tol     float64
+	}{
+		{"exp-p50", exp, 0.50, 0.05},
+		{"exp-p90", exp, 0.90, 0.05},
+		{"exp-p99", exp, 0.99, 0.10},
+		{"uni-p50", uni, 0.50, 0.05},
+		{"uni-p99", uni, 0.99, 0.05},
+	} {
+		e := NewP2(tc.q)
+		for _, x := range tc.samples {
+			e.Add(x)
+		}
+		want := exactQuantile(tc.samples, tc.q)
+		got := e.Value()
+		if math.Abs(got-want) > tc.tol*want {
+			t.Errorf("%s: P² %.4f vs exact %.4f (tol %.0f%%)", tc.name, got, want, 100*tc.tol)
+		}
+	}
+}
+
+// TestP2SmallSamples falls back to exact quantiles below five
+// observations.
+func TestP2SmallSamples(t *testing.T) {
+	e := NewP2(0.5)
+	if !math.IsNaN(e.Value()) {
+		t.Fatal("empty sketch must report NaN")
+	}
+	for _, x := range []float64{5, 1, 3} {
+		e.Add(x)
+	}
+	if got := e.Value(); got != 3 {
+		t.Fatalf("median of {1,3,5} = %v, want 3", got)
+	}
+	if e.N() != 3 {
+		t.Fatalf("N = %d, want 3", e.N())
+	}
+}
+
+// TestP2Monotone: markers must stay ordered so Value is always inside
+// the observed range.
+func TestP2Monotone(t *testing.T) {
+	rng := xrand.New(5)
+	e := NewP2(0.9)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 5000; i++ {
+		x := rng.Normal()*10 + 50
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+		e.Add(x)
+		if v := e.Value(); v < lo || v > hi {
+			t.Fatalf("after %d adds: estimate %v outside observed [%v, %v]", i+1, v, lo, hi)
+		}
+	}
+}
+
+// TestCollectorScriptedRun drives the collector with a hand-computed
+// event sequence and checks every aggregate.
+func TestCollectorScriptedRun(t *testing.T) {
+	c := NewCollector(2, 10)
+
+	// t=0: 2 tasks arrive at node 0.
+	c.TasksArrived(0, 2, 0)
+	// t=1: one ships to node 1 (in flight until t=3).
+	c.TransferDeparted(0, 1, 1, 1)
+	c.TransferArrived(1, 1, 3)
+	// t=4: node 1 goes down; node 0 completes its task at t=5 (arrived
+	// 0, first served 0); node 1 recovers at t=6 and completes at t=8
+	// (arrived 0, first served 3). Events arrive in time order, as the
+	// simulator guarantees.
+	c.NodeStateChanged(1, false, 4)
+	c.TaskCompleted(0, 0, 0, 5)
+	c.NodeStateChanged(1, true, 6)
+	c.TaskCompleted(1, 0, 3, 8)
+
+	sum := c.Finalize(10)
+	if sum.Arrived != 2 || sum.Completed != 2 {
+		t.Fatalf("arrived/completed %d/%d, want 2/2", sum.Arrived, sum.Completed)
+	}
+	if sum.Elapsed != 10 {
+		t.Fatalf("elapsed %v, want 10", sum.Elapsed)
+	}
+	if want := (5.0 + 8.0) / 2; sum.MeanSojourn != want {
+		t.Errorf("mean sojourn %v, want %v", sum.MeanSojourn, want)
+	}
+	if want := (0.0 + 3.0) / 2; sum.MeanWait != want {
+		t.Errorf("mean wait %v, want %v", sum.MeanWait, want)
+	}
+	if want := 0.2; sum.Throughput != want {
+		t.Errorf("throughput %v, want %v", sum.Throughput, want)
+	}
+	// In flight: 1 task during [1,3) → integral 2 → avg 0.2.
+	if want := 0.2; math.Abs(sum.InFlight-want) > 1e-12 {
+		t.Errorf("in-flight %v, want %v", sum.InFlight, want)
+	}
+	// Queue: 2 on [0,1), 1 on [1,3), 2 on [3,5), 1 on [5,8), 0 on [8,10)
+	// → integral 2+2+4+3 = 11 → avg 1.1.
+	if want := 1.1; math.Abs(sum.QueueDepth-want) > 1e-12 {
+		t.Errorf("queue depth %v, want %v", sum.QueueDepth, want)
+	}
+	// Availability: node 1 down on [4,6) → up-integral 2·10-2 = 18 → 0.9.
+	if want := 0.9; math.Abs(sum.Availability-want) > 1e-12 {
+		t.Errorf("availability %v, want %v", sum.Availability, want)
+	}
+
+	ws := c.Windows()
+	if len(ws) != 1 {
+		t.Fatalf("windows %d, want 1", len(ws))
+	}
+	if ws[0].Completions != 2 || ws[0].Throughput != 0.2 {
+		t.Errorf("window completions/throughput %d/%v", ws[0].Completions, ws[0].Throughput)
+	}
+	if math.Abs(ws[0].Availability-0.9) > 1e-12 {
+		t.Errorf("window availability %v, want 0.9", ws[0].Availability)
+	}
+}
+
+// TestCollectorWindowRoll: events landing in later windows must close
+// earlier ones with correct boundaries.
+func TestCollectorWindowRoll(t *testing.T) {
+	c := NewCollector(1, 1)
+	c.TasksArrived(0, 1, 0.5)
+	c.TaskCompleted(0, 0.5, 0.5, 2.5)
+	ws := c.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows %d, want 3", len(ws))
+	}
+	if ws[0].QueueDepth != 0.5 { // 1 task over [0.5, 1) of a width-1 window
+		t.Errorf("window 0 queue depth %v, want 0.5", ws[0].QueueDepth)
+	}
+	if ws[1].QueueDepth != 1 || ws[1].Completions != 0 {
+		t.Errorf("window 1 %+v, want full queue, no completions", ws[1])
+	}
+	if ws[2].Completions != 1 {
+		t.Errorf("window 2 completions %d, want 1", ws[2].Completions)
+	}
+}
+
+// TestCollectorMergesWindows: exceeding the window budget must halve the
+// series and double the width instead of growing without bound.
+func TestCollectorMergesWindows(t *testing.T) {
+	c := NewCollector(1, 1)
+	c.maxWindows = 8
+	for i := 0; i < 100; i++ {
+		tArr := float64(i) + 0.25
+		c.TasksArrived(0, 1, tArr)
+		c.TaskCompleted(0, tArr, tArr, tArr+0.5)
+	}
+	if len(c.windows) >= 8 {
+		t.Fatalf("windows %d, want < budget 8", len(c.windows))
+	}
+	total := 0
+	for _, w := range c.Windows() {
+		total += w.Completions
+	}
+	if total != 100 {
+		t.Fatalf("completions across merged windows %d, want 100", total)
+	}
+	// Widths double on merge; every stored window must be a multiple of
+	// the original width and the series must stay contiguous.
+	last := 0.0
+	for i, w := range c.Windows() {
+		if w.Start != last {
+			t.Fatalf("window %d starts at %v, want %v (contiguous)", i, w.Start, last)
+		}
+		last = w.Start + w.Width
+	}
+}

@@ -1,0 +1,152 @@
+package policy
+
+import (
+	"fmt"
+
+	"churnlb/internal/model"
+	"churnlb/internal/xrand"
+)
+
+// Router is the dispatcher side of the open-system serving layer: where a
+// load-balancing Policy moves tasks that are already queued, a Router
+// decides which node receives each arriving task. The randomized
+// few-choice family (RoundRobin, JSQ, PowerOfD) is deliberately
+// churn-blind — it ranks nodes by queue length alone, the standard
+// baseline for stochastic arrivals — while LeastExpectedWork transplants
+// the paper's insight to routing by pricing a down node at its expected
+// recovery time.
+//
+// Routers may keep per-run state (RoundRobin does); supply a fresh
+// instance to every realisation. The snapshot passed to Route is only
+// valid for the duration of the call.
+type Router interface {
+	// Name identifies the router in reports.
+	Name() string
+	// Route returns the node index that receives the arriving task batch.
+	Route(s model.State, p model.Params, rng *xrand.Rand) int
+}
+
+// RoundRobin cycles through nodes in index order regardless of queue
+// length or up/down state — the naive dispatcher baseline.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a fresh rotation starting at node 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Router.
+func (*RoundRobin) Name() string { return "rr" }
+
+// Route implements Router.
+func (r *RoundRobin) Route(s model.State, p model.Params, _ *xrand.Rand) int {
+	i := r.next % p.N()
+	r.next++
+	return i
+}
+
+// JSQ joins the shortest queue over all nodes (ties to the lowest index).
+// It is churn-blind: a down node's frozen queue looks exactly as
+// attractive as a live one, which is precisely the failure mode the
+// churn-aware router exists to fix. Route is O(n) per task — the
+// informed-but-expensive end of the family.
+type JSQ struct{}
+
+// Name implements Router.
+func (JSQ) Name() string { return "jsq" }
+
+// Route implements Router.
+func (JSQ) Route(s model.State, _ model.Params, _ *xrand.Rand) int {
+	best := 0
+	for i := 1; i < len(s.Queues); i++ {
+		if s.Queues[i] < s.Queues[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// PowerOfD samples D nodes uniformly (with replacement) and joins the
+// shortest sampled queue — the classic power-of-d-choices dispatcher,
+// O(d) per task. Churn-blind like JSQ.
+type PowerOfD struct {
+	// D is the number of choices; values < 2 default to 2.
+	D int
+}
+
+// Name implements Router.
+func (r PowerOfD) Name() string { return fmt.Sprintf("pod%d", r.choices()) }
+
+func (r PowerOfD) choices() int {
+	if r.D < 2 {
+		return 2
+	}
+	return r.D
+}
+
+// Route implements Router.
+func (r PowerOfD) Route(s model.State, p model.Params, rng *xrand.Rand) int {
+	n := p.N()
+	best := rng.Intn(n)
+	for d := 1; d < r.choices(); d++ {
+		c := rng.Intn(n)
+		if s.Queues[c] < s.Queues[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// LeastExpectedWork is the churn-aware router: it scores a node by the
+// expected time the arriving task would wait behind the work already
+// there, discounting throughput by long-run availability and charging a
+// down node its expected remaining recovery time 1/λr — the paper's
+// failure-and-recovery statistics transplanted from transfer sizing to
+// dispatch. With D > 0 it scores D sampled nodes (O(d) per task, the
+// drop-in churn-aware counterpart of PowerOfD); with D = 0 it scans all
+// nodes (the idealised counterpart of JSQ).
+type LeastExpectedWork struct {
+	// D is the number of sampled choices; 0 scans every node.
+	D int
+}
+
+// Name implements Router.
+func (r LeastExpectedWork) Name() string {
+	if r.D <= 0 {
+		return "lew"
+	}
+	return fmt.Sprintf("lew%d", r.D)
+}
+
+// score returns the expected completion delay of a task joining node i.
+func (LeastExpectedWork) score(i int, s model.State, p model.Params) float64 {
+	w := float64(s.Queues[i]+1) / p.EffectiveRate(i)
+	if !s.Up[i] && p.RecRate[i] > 0 {
+		w += 1 / p.RecRate[i]
+	}
+	return w
+}
+
+// Route implements Router.
+func (r LeastExpectedWork) Route(s model.State, p model.Params, rng *xrand.Rand) int {
+	n := p.N()
+	if r.D <= 0 {
+		best := 0
+		bestW := r.score(0, s, p)
+		for i := 1; i < n; i++ {
+			if w := r.score(i, s, p); w < bestW {
+				best, bestW = i, w
+			}
+		}
+		return best
+	}
+	best := rng.Intn(n)
+	bestW := r.score(best, s, p)
+	for d := 1; d < r.D; d++ {
+		c := rng.Intn(n)
+		if w := r.score(c, s, p); w < bestW {
+			best, bestW = c, w
+		}
+	}
+	return best
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TimeSeries is a windowed multi-column time series — the CSV face of the
+// serving layer's telemetry (internal/metrics WindowStats): one row per
+// time window, one column per metric.
+type TimeSeries struct {
+	// Time holds the row timestamps (window starts, seconds).
+	Time []float64
+	// Columns holds the named metric columns; every column must have
+	// exactly len(Time) values.
+	Columns []TimeSeriesColumn
+}
+
+// TimeSeriesColumn is one named metric column.
+type TimeSeriesColumn struct {
+	Name   string
+	Values []float64
+}
+
+// AddColumn appends a column.
+func (ts *TimeSeries) AddColumn(name string, values []float64) {
+	ts.Columns = append(ts.Columns, TimeSeriesColumn{Name: name, Values: values})
+}
+
+// WriteTimeSeriesCSV writes the series in wide format: a "time,<names...>"
+// header followed by one row per timestamp. Pair with SaveCSV to land it
+// under a results directory.
+func WriteTimeSeriesCSV(w io.Writer, ts TimeSeries) error {
+	headers := make([]string, 0, len(ts.Columns)+1)
+	headers = append(headers, "time")
+	for _, c := range ts.Columns {
+		if len(c.Values) != len(ts.Time) {
+			return fmt.Errorf("report: column %q has %d values for %d timestamps",
+				c.Name, len(c.Values), len(ts.Time))
+		}
+		headers = append(headers, c.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for i := range ts.Time {
+		row := make([]string, 0, len(headers))
+		row = append(row, fmt.Sprintf("%g", ts.Time[i]))
+		for _, c := range ts.Columns {
+			row = append(row, fmt.Sprintf("%g", c.Values[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

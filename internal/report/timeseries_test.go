@@ -1,0 +1,61 @@
+package report
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteTimeSeriesCSV(t *testing.T) {
+	ts := TimeSeries{Time: []float64{0, 1.5, 3}}
+	ts.AddColumn("throughput", []float64{10, 12.5, 0})
+	ts.AddColumn("p99", []float64{0.5, 2, 4})
+	ts.AddColumn("availability", []float64{1, 0.9, 0.95})
+	var b bytes.Buffer
+	if err := WriteTimeSeriesCSV(&b, ts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d, want header + 3 rows:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "time,throughput,p99,availability" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[2] != "1.5,12.5,2,0.9" {
+		t.Fatalf("row 1 = %q", lines[2])
+	}
+}
+
+func TestWriteTimeSeriesCSVRejectsRaggedColumns(t *testing.T) {
+	ts := TimeSeries{Time: []float64{0, 1}}
+	ts.AddColumn("short", []float64{1})
+	if err := WriteTimeSeriesCSV(&bytes.Buffer{}, ts); err == nil {
+		t.Fatal("ragged column accepted")
+	}
+}
+
+func TestTimeSeriesSaveCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ts := TimeSeries{Time: []float64{0, 1}}
+	ts.AddColumn("throughput", []float64{5, 6})
+	p, err := SaveCSV(dir, "ts.csv", func(w io.Writer) error {
+		return WriteTimeSeriesCSV(w, ts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "time,throughput\n") {
+		t.Fatalf("unexpected content: %s", b)
+	}
+	if filepath.Ext(p) != ".csv" {
+		t.Fatalf("unexpected path %s", p)
+	}
+}

@@ -16,7 +16,11 @@
 //     membership scales each node's churn rates, modelling correlated
 //     infrastructure failure;
 //   - FlashCrowd: a modest initial backlog plus a Poisson arrival burst
-//     that delivers the bulk of the workload during a short window.
+//     that delivers the bulk of the workload during a short window;
+//   - Diurnal: an open-system serving pattern — arrivals follow a
+//     sinusoidal daily wave around a mean rate, the workload the
+//     dispatcher routing policies (internal/policy Routers) are judged
+//     on.
 package scenario
 
 import (
@@ -38,10 +42,13 @@ const (
 	Hotspot
 	CorrelatedFailure
 	FlashCrowd
+	Diurnal
 )
 
 // Kinds lists every scenario family in declaration order.
-func Kinds() []Kind { return []Kind{Uniform, Hotspot, CorrelatedFailure, FlashCrowd} }
+func Kinds() []Kind {
+	return []Kind{Uniform, Hotspot, CorrelatedFailure, FlashCrowd, Diurnal}
+}
 
 // String implements fmt.Stringer with the CLI spelling of the kind.
 func (k Kind) String() string {
@@ -54,6 +61,8 @@ func (k Kind) String() string {
 		return "correlated"
 	case FlashCrowd:
 		return "flashcrowd"
+	case Diurnal:
+		return "diurnal"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -66,7 +75,7 @@ func ParseKind(s string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("scenario: unknown kind %q (want uniform, hotspot, correlated or flashcrowd)", s)
+	return 0, fmt.Errorf("scenario: unknown kind %q (want uniform, hotspot, correlated, flashcrowd or diurnal)", s)
 }
 
 // Spec describes a cluster scenario to generate. Zero-valued tuning
@@ -110,9 +119,17 @@ type Spec struct {
 
 	// BurstWindow is the arrival window in seconds (default 30) and
 	// QueuedFraction the share of TotalLoad queued at t = 0 (default
-	// 0.2). FlashCrowd scenarios only.
+	// 0.2). FlashCrowd and Diurnal scenarios.
 	BurstWindow    float64
 	QueuedFraction float64
+
+	// WavePeriod is the length of one diurnal cycle in seconds (default
+	// 60), WaveAmplitude the relative swing of the arrival rate around
+	// its mean in [0, 1] (default 0.8), and WaveCycles the number of
+	// cycles arrivals span (default 2). Diurnal scenarios only.
+	WavePeriod    float64
+	WaveAmplitude float64
+	WaveCycles    int
 }
 
 // withDefaults fills zero tuning fields.
@@ -153,6 +170,15 @@ func (sp Spec) withDefaults() Spec {
 	if sp.QueuedFraction == 0 {
 		sp.QueuedFraction = 0.2
 	}
+	if sp.WavePeriod == 0 {
+		sp.WavePeriod = 60
+	}
+	if sp.WaveAmplitude == 0 {
+		sp.WaveAmplitude = 0.8
+	}
+	if sp.WaveCycles == 0 {
+		sp.WaveCycles = 2
+	}
 	return sp
 }
 
@@ -175,6 +201,13 @@ func (sp Spec) validate() error {
 	if sp.Groups < 1 || sp.Groups > sp.N {
 		return fmt.Errorf("scenario: Groups = %d out of range for N = %d", sp.Groups, sp.N)
 	}
+	if sp.WaveAmplitude < 0 || sp.WaveAmplitude > 1 {
+		return fmt.Errorf("scenario: WaveAmplitude = %v must be in [0,1]", sp.WaveAmplitude)
+	}
+	if sp.WavePeriod <= 0 || sp.WaveCycles < 1 {
+		return fmt.Errorf("scenario: wave needs positive WavePeriod and WaveCycles, got %v, %d",
+			sp.WavePeriod, sp.WaveCycles)
+	}
 	return nil
 }
 
@@ -191,10 +224,14 @@ type Scenario struct {
 	// is nil.
 	Group []int
 	// ArrivalRate, ArrivalBatch and ArrivalHorizon configure the external
-	// Poisson burst (FlashCrowd) or are zero.
+	// Poisson arrivals (FlashCrowd, Diurnal) or are zero.
 	ArrivalRate    float64
 	ArrivalBatch   int
 	ArrivalHorizon float64
+	// WaveAmplitude and WavePeriod modulate the arrival rate
+	// sinusoidally (Diurnal) or are zero.
+	WaveAmplitude float64
+	WavePeriod    float64
 }
 
 // Generate expands a Spec into a concrete Scenario. Generation is
@@ -275,6 +312,25 @@ func Generate(spec Spec) (*Scenario, error) {
 			sc.ArrivalHorizon = sp.BurstWindow
 		}
 
+	case Diurnal:
+		queued := int(math.Round(sp.QueuedFraction * float64(sp.TotalLoad)))
+		spread(sc.InitialLoad, queued, 0, n)
+		arriving := sp.TotalLoad - queued
+		if arriving > 0 {
+			horizon := sp.WavePeriod * float64(sp.WaveCycles)
+			// ~400 batches across the horizon keep arrival events cheap
+			// for very large workloads while sampling the wave densely.
+			batch := arriving / 400
+			if batch < 1 {
+				batch = 1
+			}
+			sc.ArrivalBatch = batch
+			sc.ArrivalRate = float64(arriving) / float64(batch) / horizon
+			sc.ArrivalHorizon = horizon
+			sc.WaveAmplitude = sp.WaveAmplitude
+			sc.WavePeriod = sp.WavePeriod
+		}
+
 	default:
 		return nil, fmt.Errorf("scenario: unknown kind %d", int(sp.Kind))
 	}
@@ -293,6 +349,7 @@ func (sc *Scenario) Options(pol policy.Policy, rng *xrand.Rand) sim.Options {
 		ArrivalRate:    sc.ArrivalRate,
 		ArrivalBatch:   sc.ArrivalBatch,
 		ArrivalHorizon: sc.ArrivalHorizon,
+		ArrivalWave:    sim.Wave{Amplitude: sc.WaveAmplitude, Period: sc.WavePeriod},
 	}
 }
 

@@ -172,6 +172,37 @@ func TestFlashCrowdSplitsLoad(t *testing.T) {
 	}
 }
 
+func TestDiurnalConfiguresWave(t *testing.T) {
+	sc, err := Generate(Spec{Kind: Diurnal, N: 20, TotalLoad: 5000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TotalQueued() != 1000 {
+		t.Fatalf("queued %d, want 20%% of 5000", sc.TotalQueued())
+	}
+	if sc.WavePeriod != 60 || sc.WaveAmplitude != 0.8 {
+		t.Fatalf("wave not configured: %+v", sc)
+	}
+	if sc.ArrivalHorizon != 120 { // 2 default cycles of 60 s
+		t.Fatalf("horizon %v, want 120", sc.ArrivalHorizon)
+	}
+	// Expected arrivals over full cycles equal the remaining 80% (the
+	// sine integrates to zero).
+	expected := sc.ArrivalRate * sc.ArrivalHorizon * float64(sc.ArrivalBatch)
+	if expected < 3800 || expected > 4200 {
+		t.Fatalf("expected wave arrivals %v, want ≈4000", expected)
+	}
+}
+
+func TestDiurnalWaveValidation(t *testing.T) {
+	if _, err := Generate(Spec{Kind: Diurnal, N: 4, TotalLoad: 100, WaveAmplitude: 2}); err == nil {
+		t.Fatal("amplitude 2 accepted")
+	}
+	if _, err := Generate(Spec{Kind: Diurnal, N: 4, TotalLoad: 100, WavePeriod: -1}); err == nil {
+		t.Fatal("negative period accepted")
+	}
+}
+
 // Every scenario family must produce a runnable simulation that conserves
 // tasks end to end.
 func TestScenariosSimulateAndConserve(t *testing.T) {

@@ -1,0 +1,114 @@
+// Package serve is the open-system serving core shared by the public
+// churnlb.Serve API and the experiment harness: it wires a dispatcher
+// router, a balancing policy and the fixed-memory telemetry collector
+// into one simulator realisation driven by external arrivals.
+package serve
+
+import (
+	"fmt"
+
+	"churnlb/internal/metrics"
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/sim"
+	"churnlb/internal/xrand"
+)
+
+// Options configures one serving realisation.
+type Options struct {
+	// Params describes the cluster; required.
+	Params model.Params
+	// Policy moves queued work (nil = no balancing).
+	Policy policy.Policy
+	// NewRouter builds the dispatcher for this run; nil routes each
+	// arrival to a uniformly random node. A factory rather than an
+	// instance because routers may be stateful per run.
+	NewRouter func() policy.Router
+	// InitialLoad and InitialUp set the t = 0 state; nil means empty
+	// queues and all nodes up.
+	InitialLoad []int
+	InitialUp   []bool
+	// Rate and Horizon (both required positive) drive the Poisson
+	// arrival stream; Batch is tasks per arrival (default 1).
+	Rate    float64
+	Batch   int
+	Horizon float64
+	// WaveAmplitude and WavePeriod modulate the arrival rate
+	// sinusoidally when WavePeriod > 0 (diurnal pattern).
+	WaveAmplitude, WavePeriod float64
+	// Window is the telemetry window width; 0 derives Horizon/100
+	// (at least 0.1 s).
+	Window float64
+	// TransferMode and ChurnLaw select the delay and churn laws.
+	TransferMode sim.TransferMode
+	ChurnLaw     sim.ChurnLaw
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Result reports one serving realisation.
+type Result struct {
+	// Summary is the whole-run telemetry aggregate.
+	Summary metrics.Summary
+	// Windows is the telemetry time series.
+	Windows []metrics.WindowStats
+	// Sim is the underlying simulator result (completion time, churn and
+	// transfer counters, per-node processed counts).
+	Sim *sim.Result
+}
+
+// Run executes one serving realisation. Deterministic for a given seed.
+func Run(opt Options) (*Result, error) {
+	if opt.Rate <= 0 || opt.Horizon <= 0 {
+		return nil, fmt.Errorf("serve: needs positive Rate and Horizon")
+	}
+	load := opt.InitialLoad
+	if load == nil {
+		load = make([]int, opt.Params.N())
+	}
+	window := opt.Window
+	if window <= 0 {
+		window = opt.Horizon / 100
+		if window < 0.1 {
+			window = 0.1
+		}
+	}
+	var router policy.Router
+	if opt.NewRouter != nil {
+		router = opt.NewRouter()
+	}
+	col := metrics.NewCollector(opt.Params.N(), window)
+	out, err := sim.Run(sim.Options{
+		Params:         opt.Params,
+		Policy:         opt.Policy,
+		InitialLoad:    load,
+		InitialUp:      opt.InitialUp,
+		Rand:           xrand.New(opt.Seed),
+		TransferMode:   opt.TransferMode,
+		ChurnLaw:       opt.ChurnLaw,
+		ArrivalRate:    opt.Rate,
+		ArrivalBatch:   opt.Batch,
+		ArrivalHorizon: opt.Horizon,
+		ArrivalWave:    sim.Wave{Amplitude: opt.WaveAmplitude, Period: opt.WavePeriod},
+		Router:         router,
+		TaskObserver:   col,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Summary: col.Finalize(out.CompletionTime),
+		Windows: col.Windows(),
+		Sim:     out,
+	}, nil
+}
+
+// MixSeed derives the per-replication seed used by serving Monte-Carlo
+// loops (SplitMix64-style finalizer over seed and replication index).
+func MixSeed(seed uint64, rep int) uint64 {
+	x := seed ^ (uint64(rep)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}

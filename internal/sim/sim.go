@@ -104,11 +104,32 @@ type Options struct {
 	MaxTime float64
 	// ArrivalRate, if positive, injects external workload as a Poisson
 	// process (the dynamic extension). Each arrival adds ArrivalBatch
-	// tasks to a uniformly random node. The run then completes when the
-	// backlog drains after ArrivalHorizon (no arrivals beyond it).
+	// tasks to a uniformly random node — or to the node chosen by Router
+	// when one is installed. The run then completes when the backlog
+	// drains after ArrivalHorizon (no arrivals beyond it).
 	ArrivalRate    float64
 	ArrivalBatch   int
 	ArrivalHorizon float64
+	// ArrivalWave, when Period > 0, modulates the arrival rate
+	// sinusoidally: rate(t) = ArrivalRate·(1 + Amplitude·sin(2πt/Period)),
+	// realised by thinning a Poisson stream at the peak rate. Extra
+	// randomness is consumed only when the wave is active, so plain
+	// Poisson runs stay bit-identical.
+	ArrivalWave Wave
+	// Router, when non-nil, picks the destination node of every external
+	// arrival instead of the uniform default — the dispatcher of the
+	// open-system serving layer. Routers may be stateful: supply a fresh
+	// instance per run.
+	Router policy.Router
+	// TaskObserver, when non-nil, receives per-task lifecycle events and
+	// state changes (see observer.go). nil costs nothing on the hot path.
+	TaskObserver TaskObserver
+}
+
+// Wave describes a sinusoidal arrival-rate modulation (diurnal pattern).
+// Period <= 0 disables it; Amplitude must lie in [0, 1].
+type Wave struct {
+	Amplitude, Period float64
 }
 
 // Result reports one realisation.
@@ -163,6 +184,10 @@ type simState struct {
 	// arrival tick, so Now() can overshoot the true completion.
 	drainTime    float64
 	arrivalsOpen bool
+	// obs and taskq exist only when Options.TaskObserver is set: taskq
+	// mirrors each queue with per-task lifecycle records.
+	obs   TaskObserver
+	taskq []taskQueue
 }
 
 // Run executes one realisation and returns its Result.
@@ -191,6 +216,14 @@ func Run(opt Options) (*Result, error) {
 	if opt.ArrivalRate > 0 && opt.ArrivalHorizon <= 0 {
 		return nil, fmt.Errorf("sim: ArrivalRate needs a positive ArrivalHorizon")
 	}
+	if opt.ArrivalWave.Period > 0 {
+		if opt.ArrivalRate <= 0 {
+			return nil, fmt.Errorf("sim: ArrivalWave needs a positive ArrivalRate")
+		}
+		if a := opt.ArrivalWave.Amplitude; a < 0 || a > 1 {
+			return nil, fmt.Errorf("sim: ArrivalWave.Amplitude = %v must be in [0,1]", a)
+		}
+	}
 
 	s := &simState{
 		opt:        opt,
@@ -214,6 +247,21 @@ func Run(opt Options) (*Result, error) {
 	}
 	for _, q := range s.queues {
 		s.remaining += q
+	}
+	if opt.TaskObserver != nil {
+		s.obs = opt.TaskObserver
+		s.taskq = make([]taskQueue, n)
+		for i, q := range s.queues {
+			for t := 0; t < q; t++ {
+				s.taskq[i].push(taskRec{arrival: 0, firstService: -1})
+			}
+			if q > 0 {
+				s.obs.TasksArrived(i, q, 0)
+			}
+			if !s.up[i] {
+				s.obs.NodeStateChanged(i, false, 0)
+			}
+		}
 	}
 	for i := 0; i < n; i++ {
 		i := i
@@ -318,6 +366,13 @@ func (s *simState) scheduleCompletion(i int) {
 	}
 	d := s.rng.Exp(s.p.ProcRate[i])
 	s.complTimer[i] = s.sched.After(d, s.complFn[i])
+	if s.obs != nil {
+		// The front task is (re)entering service; stamp its first
+		// service start if it has none yet.
+		if f := s.taskq[i].front(); f.firstService < 0 {
+			f.firstService = s.sched.Now()
+		}
+	}
 }
 
 func (s *simState) complete(i int) {
@@ -330,6 +385,10 @@ func (s *simState) complete(i int) {
 	s.remaining--
 	if s.remaining == 0 {
 		s.drainTime = s.sched.Now()
+	}
+	if s.obs != nil {
+		rec := s.taskq[i].pop()
+		s.obs.TaskCompleted(i, rec.arrival, rec.firstService, s.sched.Now())
 	}
 	s.trace(EvCompletion, i)
 	s.scheduleCompletion(i)
@@ -366,6 +425,9 @@ func (s *simState) fail(i int) {
 	s.complTimer[i].Cancel()
 	s.complTimer[i] = des.Handle{}
 	s.res.Failures++
+	if s.obs != nil {
+		s.obs.NodeStateChanged(i, false, s.sched.Now())
+	}
 	s.trace(EvFailure, i)
 	s.applyTransfers(s.opt.Policy.OnFailure(i, s.snapshot(), s.p))
 	s.scheduleRecovery(i)
@@ -385,6 +447,9 @@ func (s *simState) recover(i int) {
 	}
 	s.up[i] = true
 	s.res.Recoveries++
+	if s.obs != nil {
+		s.obs.NodeStateChanged(i, true, s.sched.Now())
+	}
 	s.trace(EvRecovery, i)
 	s.scheduleCompletion(i)
 	s.scheduleFailure(i)
@@ -412,6 +477,11 @@ func (s *simState) send(tr model.Transfer) {
 		return
 	}
 	s.queues[tr.From] -= tr.Tasks
+	var recs []taskRec
+	if s.obs != nil {
+		recs = s.taskq[tr.From].takeTail(tr.Tasks)
+		s.obs.TransferDeparted(tr.From, tr.To, tr.Tasks, s.sched.Now())
+	}
 	// The task being processed may have been shipped: restart the sender's
 	// completion process against whatever remains.
 	s.scheduleCompletion(tr.From)
@@ -426,6 +496,10 @@ func (s *simState) send(tr model.Transfer) {
 	s.sched.After(delay, func() {
 		s.inFlight -= tasks
 		s.queues[to] += tasks
+		if s.obs != nil {
+			s.taskq[to].recs = append(s.taskq[to].recs, recs...)
+			s.obs.TransferArrived(to, tasks, s.sched.Now())
+		}
 		s.trace(EvArrival, to)
 		if s.up[to] {
 			// A previously empty queue needs its completion process
@@ -458,7 +532,12 @@ func (s *simState) transferDelay(tasks int) float64 {
 // --- external arrivals (dynamic extension) ---
 
 func (s *simState) scheduleArrival() {
-	d := s.rng.Exp(s.opt.ArrivalRate)
+	rate := s.opt.ArrivalRate
+	if s.opt.ArrivalWave.Period > 0 {
+		// Generate at the peak rate; externalArrival thins to rate(t).
+		rate *= 1 + s.opt.ArrivalWave.Amplitude
+	}
+	d := s.rng.Exp(rate)
 	s.sched.After(d, s.arriveFn)
 }
 
@@ -467,7 +546,23 @@ func (s *simState) externalArrival() {
 		s.arrivalsOpen = false
 		return
 	}
-	node := s.rng.Intn(s.p.N())
+	if w := s.opt.ArrivalWave; w.Period > 0 {
+		// Thinning: accept with probability rate(t)/peak.
+		accept := (1 + w.Amplitude*math.Sin(2*math.Pi*s.sched.Now()/w.Period)) / (1 + w.Amplitude)
+		if s.rng.Float64() >= accept {
+			s.scheduleArrival()
+			return
+		}
+	}
+	var node int
+	if s.opt.Router != nil {
+		node = s.opt.Router.Route(s.snapshot(), s.p, s.rng)
+		if node < 0 || node >= s.p.N() {
+			panic(fmt.Sprintf("sim: router %s returned invalid node %d", s.opt.Router.Name(), node))
+		}
+	} else {
+		node = s.rng.Intn(s.p.N())
+	}
 	batch := s.opt.ArrivalBatch
 	if batch <= 0 {
 		batch = 1
@@ -475,6 +570,13 @@ func (s *simState) externalArrival() {
 	s.queues[node] += batch
 	s.remaining += batch
 	s.res.ExternalArrivals += batch
+	if s.obs != nil {
+		now := s.sched.Now()
+		for t := 0; t < batch; t++ {
+			s.taskq[node].push(taskRec{arrival: now, firstService: -1})
+		}
+		s.obs.TasksArrived(node, batch, now)
+	}
 	s.trace(EvExternal, node)
 	if s.up[node] && s.queues[node] == batch {
 		s.scheduleCompletion(node)
