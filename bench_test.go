@@ -156,9 +156,9 @@ func BenchmarkSimN1000(b *testing.B) { benchScenario(b, scenario.Hotspot, 1000, 
 // ~2× of the closed-model per-event cost at the same scale.
 
 // benchServe times one open-system realisation per iteration: a Poisson
-// stream routed by power-of-two-choices over a generated hotspot
+// stream routed by the given dispatcher over a generated hotspot
 // cluster, with LBP-2 failure compensation and full telemetry.
-func benchServe(b *testing.B, n int, rate float64) {
+func benchServe(b *testing.B, n int, rate float64, router RouterSpec) {
 	sc, err := scenario.Generate(scenario.Spec{Kind: scenario.Hotspot, N: n, TotalLoad: 0, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
@@ -175,8 +175,7 @@ func benchServe(b *testing.B, n int, rate float64) {
 	served := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Serve(sys, PolicySpec{Kind: PolicyLBP2, K: 1},
-			RouterSpec{Kind: RouterPowerOfD, D: 2}, uint64(i+1), opt)
+		res, err := Serve(sys, PolicySpec{Kind: PolicyLBP2, K: 1}, router, uint64(i+1), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,14 +187,59 @@ func benchServe(b *testing.B, n int, rate float64) {
 	b.ReportMetric(float64(served), "tasks/op")
 }
 
+func pod2Spec() RouterSpec { return RouterSpec{Kind: RouterPowerOfD, D: 2} }
+func jsqSpec() RouterSpec  { return RouterSpec{Kind: RouterJSQ} }
+
 // BenchmarkServeN100 serves ~10⁴ tasks over a 100-node cluster — the
 // open-system counterpart of BenchmarkSimN100.
-func BenchmarkServeN100(b *testing.B) { benchServe(b, 100, 500) }
+func BenchmarkServeN100(b *testing.B) { benchServe(b, 100, 500, pod2Spec()) }
 
 // BenchmarkServeN1000 serves ~10⁵ tasks over a 1000-node cluster — the
 // open-system counterpart of BenchmarkSimN1000 and the acceptance bar
 // for O(1) per-task telemetry.
-func BenchmarkServeN1000(b *testing.B) { benchServe(b, 1000, 5000) }
+func BenchmarkServeN1000(b *testing.B) { benchServe(b, 1000, 5000, pod2Spec()) }
+
+// BenchmarkServeN10000 serves ~10⁶ tasks over a 10000-node cluster — the
+// acceptance bar for the O(1) routing hot path: per-task cost (ns/task)
+// must stay within ~2x of BenchmarkServeN100, which requires both the
+// zero-copy state views (no per-arrival snapshot) and O(1) dispatch.
+func BenchmarkServeN10000(b *testing.B) { benchServe(b, 10000, 50000, pod2Spec()) }
+
+// BenchmarkServeJSQN100/1000/10000 run the same workloads under full JSQ
+// — the router that scanned every node per arrival before the
+// incremental load index made it O(1). Flat ns/task across this family
+// is the end-to-end proof the index works under churn and transfers.
+func BenchmarkServeJSQN100(b *testing.B)   { benchServe(b, 100, 500, jsqSpec()) }
+func BenchmarkServeJSQN1000(b *testing.B)  { benchServe(b, 1000, 5000, jsqSpec()) }
+func BenchmarkServeJSQN10000(b *testing.B) { benchServe(b, 10000, 50000, jsqSpec()) }
+
+// BenchmarkServeMany16 times the parallel replication fan-out: 16
+// serving replications of the 100-node cluster on the worker pool.
+func BenchmarkServeMany16(b *testing.B) {
+	sc, err := scenario.Generate(scenario.Spec{Kind: scenario.Hotspot, N: 100, TotalLoad: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := System{DelayPerTask: sc.Params.DelayPerTask}
+	for i := 0; i < 100; i++ {
+		sys.Nodes = append(sys.Nodes, Node{
+			ProcRate: sc.Params.ProcRate[i],
+			FailRate: sc.Params.FailRate[i],
+			RecRate:  sc.Params.RecRate[i],
+		})
+	}
+	opt := ServeOptions{Rate: 500, Horizon: 20, Window: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := ServeMany(sys, PolicySpec{Kind: PolicyLBP2, K: 1}, jsqSpec(), 16, uint64(i+1), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est.N == 0 {
+			b.Fatal("no replication completed")
+		}
+	}
+}
 
 // BenchmarkMonteCarloN100 times a parallel 100-replication estimate of
 // the 100-node uniform scenario.

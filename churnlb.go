@@ -44,6 +44,7 @@ import (
 	"churnlb/internal/cluster"
 	"churnlb/internal/markov"
 	"churnlb/internal/mc"
+	"churnlb/internal/metrics"
 	"churnlb/internal/model"
 	"churnlb/internal/policy"
 	"churnlb/internal/serve"
@@ -598,6 +599,10 @@ type ServeOptions struct {
 	// TransferMode and ChurnLaw select the delay and churn laws.
 	TransferMode TransferMode
 	ChurnLaw     ChurnLaw
+	// Workers caps the goroutines ServeMany spreads its replications
+	// over; 0 means GOMAXPROCS. The estimate is bit-identical for any
+	// worker count. Ignored by Serve.
+	Workers int
 }
 
 // ServeWindow is one telemetry window of a serving run.
@@ -643,51 +648,15 @@ type ServeResult struct {
 // depth, in-flight transfers and availability. Deterministic for a given
 // seed.
 func Serve(s System, spec PolicySpec, router RouterSpec, seed uint64, opt ServeOptions) (ServeResult, error) {
-	p, err := s.params()
+	so, err := buildServeOptions(s, spec, router, seed, opt)
 	if err != nil {
 		return ServeResult{}, err
 	}
-	if opt.Rate <= 0 || opt.Horizon <= 0 {
-		return ServeResult{}, fmt.Errorf("churnlb: Serve needs positive Rate and Horizon")
-	}
-	pol, err := spec.build()
+	run, err := serve.Run(so)
 	if err != nil {
 		return ServeResult{}, err
 	}
-	// Validate the router spec eagerly (the factory below runs later).
-	if _, err := router.build(); err != nil {
-		return ServeResult{}, err
-	}
-	tm, err := opt.TransferMode.internal()
-	if err != nil {
-		return ServeResult{}, err
-	}
-	cl, err := opt.ChurnLaw.internal()
-	if err != nil {
-		return ServeResult{}, err
-	}
-	run, err := serve.Run(serve.Options{
-		Params: p,
-		Policy: pol,
-		NewRouter: func() policy.Router {
-			rt, _ := router.build()
-			return rt
-		},
-		InitialLoad:   opt.InitialLoad,
-		InitialUp:     opt.InitialUp,
-		Rate:          opt.Rate,
-		Batch:         opt.Batch,
-		Horizon:       opt.Horizon,
-		WaveAmplitude: opt.WaveAmplitude,
-		WavePeriod:    opt.WavePeriod,
-		Window:        opt.Window,
-		TransferMode:  tm,
-		ChurnLaw:      cl,
-		Seed:          seed,
-	})
-	if err != nil {
-		return ServeResult{}, err
-	}
+	p := so.Params
 	sum, out := run.Summary, run.Sim
 	res := ServeResult{
 		Arrived:          sum.Arrived,
@@ -737,43 +706,150 @@ type ServeEstimate struct {
 	N                    int
 	P50, P99, Throughput Estimate
 	Availability         Estimate
+	// PooledP50, PooledP90 and PooledP99 estimate the percentiles of the
+	// pooled task population of every replication, obtained by merging
+	// the per-replication P² latency sketches pairwise in replication
+	// order — a task-weighted view, where P50.Mean and P99.Mean weight
+	// every replication equally.
+	PooledP50, PooledP90, PooledP99 float64
 }
 
-// ServeMany runs reps independent serving realisations and aggregates
-// p50, p99, throughput and availability across them. Deterministic for a
-// given seed.
+// ServeMany runs reps independent serving realisations in parallel on the
+// Monte-Carlo worker pool (ServeOptions.Workers caps the goroutines; 0
+// means GOMAXPROCS) and aggregates p50, p99, throughput and availability
+// across them. Every replication draws its seed from the deterministic
+// MixSeed(seed, rep) scheme and results are folded in replication order,
+// so the estimate is bit-identical for any worker count.
 func ServeMany(s System, spec PolicySpec, router RouterSpec, reps int, seed uint64, opt ServeOptions) (ServeEstimate, error) {
 	if reps <= 0 {
 		return ServeEstimate{}, fmt.Errorf("churnlb: ServeMany needs positive reps")
+	}
+	so, err := buildServeOptions(s, spec, router, seed, opt)
+	if err != nil {
+		return ServeEstimate{}, err
+	}
+	// Each replication keeps only its summary scalars and latency
+	// sketches, rep-indexed for worker-count-independent folding; the
+	// full Result (windows, per-node counters) is released as it is
+	// visited, so a large study holds O(reps) scalars, not O(reps)
+	// telemetry series.
+	type repStats struct {
+		completed            int
+		p50, p99, thr, avail float64
+		latency              metrics.LatencySketch
+	}
+	perRep := make([]repStats, reps)
+	err = serve.RunMany(so, reps, opt.Workers, func(rep int, run *serve.Result) {
+		perRep[rep] = repStats{
+			completed: run.Summary.Completed,
+			p50:       run.Summary.P50,
+			p99:       run.Summary.P99,
+			thr:       run.Summary.Throughput,
+			avail:     run.Summary.Availability,
+			latency:   run.Latency,
+		}
+	})
+	if err != nil {
+		return ServeEstimate{}, fmt.Errorf("churnlb: %w", err)
 	}
 	p50s := make([]float64, 0, reps)
 	p99s := make([]float64, 0, reps)
 	thr := make([]float64, 0, reps)
 	avail := make([]float64, 0, reps)
-	for rep := 0; rep < reps; rep++ {
-		res, err := Serve(s, spec, router, serve.MixSeed(seed, rep), opt)
-		if err != nil {
-			return ServeEstimate{}, fmt.Errorf("churnlb: serve replication %d: %w", rep, err)
-		}
-		thr = append(thr, res.Throughput)
-		avail = append(avail, res.Availability)
-		if res.Completed == 0 {
+	sketches := make([]metrics.LatencySketch, reps)
+	for rep, r := range perRep {
+		sketches[rep] = r.latency
+		thr = append(thr, r.thr)
+		avail = append(avail, r.avail)
+		if r.completed == 0 {
 			continue // an empty realisation has no latency sample
 		}
-		p50s = append(p50s, res.P50)
-		p99s = append(p99s, res.P99)
+		p50s = append(p50s, r.p50)
+		p99s = append(p99s, r.p99)
 	}
 	if len(p50s) == 0 {
 		return ServeEstimate{}, fmt.Errorf("churnlb: no serving replication completed a task")
 	}
+	pooled := pooledLatency(sketches)
 	est := ServeEstimate{
 		N:            len(p50s),
 		P50:          summarize(p50s),
 		P99:          summarize(p99s),
 		Throughput:   summarize(thr),
 		Availability: summarize(avail),
+		PooledP50:    pooled.P50.Value(),
+		PooledP90:    pooled.P90.Value(),
+		PooledP99:    pooled.P99.Value(),
 	}
 	return est, nil
+}
+
+// buildServeOptions validates the serving inputs shared by Serve and
+// ServeMany and assembles the internal serve.Options, so the two entry
+// points cannot drift apart.
+func buildServeOptions(s System, spec PolicySpec, router RouterSpec, seed uint64, opt ServeOptions) (serve.Options, error) {
+	p, err := s.params()
+	if err != nil {
+		return serve.Options{}, err
+	}
+	if opt.Rate <= 0 || opt.Horizon <= 0 {
+		return serve.Options{}, fmt.Errorf("churnlb: serving needs positive Rate and Horizon")
+	}
+	pol, err := spec.build()
+	if err != nil {
+		return serve.Options{}, err
+	}
+	// Validate the router spec eagerly (the factory below runs later).
+	if _, err := router.build(); err != nil {
+		return serve.Options{}, err
+	}
+	tm, err := opt.TransferMode.internal()
+	if err != nil {
+		return serve.Options{}, err
+	}
+	cl, err := opt.ChurnLaw.internal()
+	if err != nil {
+		return serve.Options{}, err
+	}
+	return serve.Options{
+		Params: p,
+		Policy: pol,
+		NewRouter: func() policy.Router {
+			rt, _ := router.build()
+			return rt
+		},
+		InitialLoad:   opt.InitialLoad,
+		InitialUp:     opt.InitialUp,
+		Rate:          opt.Rate,
+		Batch:         opt.Batch,
+		Horizon:       opt.Horizon,
+		WaveAmplitude: opt.WaveAmplitude,
+		WavePeriod:    opt.WavePeriod,
+		Window:        opt.Window,
+		TransferMode:  tm,
+		ChurnLaw:      cl,
+		Seed:          seed,
+	}, nil
+}
+
+// pooledLatency merges the per-replication latency sketches pairwise —
+// adjacent pairs per round, in replication order, so the result does not
+// depend on which workers produced them. The input sketches are consumed.
+func pooledLatency(ls []metrics.LatencySketch) metrics.LatencySketch {
+	for len(ls) > 1 {
+		half := 0
+		for i := 0; i+1 < len(ls); i += 2 {
+			ls[i].Merge(ls[i+1])
+			ls[half] = ls[i]
+			half++
+		}
+		if len(ls)%2 == 1 {
+			ls[half] = ls[len(ls)-1]
+			half++
+		}
+		ls = ls[:half]
+	}
+	return ls[0]
 }
 
 // summarize folds samples into the public Estimate shape.

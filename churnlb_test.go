@@ -2,6 +2,7 @@ package churnlb
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -238,6 +239,31 @@ func TestServeManyAggregates(t *testing.T) {
 	}
 	if !(est.P50.Mean > 0 && est.P99.Mean >= est.P50.Mean) {
 		t.Fatalf("estimate not ordered: %+v", est)
+	}
+	if !(est.PooledP50 > 0 && est.PooledP99 >= est.PooledP90 && est.PooledP90 >= est.PooledP50) {
+		t.Fatalf("pooled percentiles not ordered: %+v", est)
+	}
+}
+
+// TestServeManyWorkerCountIndependent is the parallel-determinism
+// contract: the same seed and reps must produce a bit-identical
+// ServeEstimate — per-rep statistics and pooled sketches alike — no
+// matter how many workers executed the replications.
+func TestServeManyWorkerCountIndependent(t *testing.T) {
+	run := func(workers int) ServeEstimate {
+		est, err := ServeMany(PaperSystem(), PolicySpec{Kind: PolicyLBP2, K: 1},
+			RouterSpec{Kind: RouterLeastExpectedWork}, 9, 5,
+			ServeOptions{Rate: 2, Horizon: 30, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	base := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		if got := run(workers); !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, got, base)
+		}
 	}
 }
 

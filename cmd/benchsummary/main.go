@@ -1,11 +1,17 @@
 // Command benchsummary converts `go test -bench` output into a compact
 // JSON summary, so CI can persist the perf trajectory as a machine-
-// readable artifact alongside the raw benchstat-compatible text.
+// readable artifact alongside the raw benchstat-compatible text. For
+// benchmarks that report a tasks/op metric it derives ns/task and prints
+// the per-task scaling trend across cluster sizes (the N=100 -> 10000
+// line the routing hot path is judged by); with -against it diffs the
+// parsed results per-op against a checked-in baseline summary and fails
+// on regressions beyond -maxratio.
 //
 // Usage:
 //
 //	go test -run NONE -bench . -benchtime 1x ./... | tee bench.txt
-//	benchsummary -in bench.txt -out BENCH_smoke.json
+//	benchsummary -in bench.txt -out BENCH_smoke.json \
+//	    -against BENCH_baseline.json -match 'BenchmarkServe|BenchmarkRoute'
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -90,6 +98,13 @@ func parse(r io.Reader) (Summary, error) {
 			}
 			b.Metrics[fields[i+1]] = v
 		}
+		// Scale benchmarks report how many tasks one op serves; derive the
+		// per-task cost so sizes become directly comparable.
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			if tasks, ok := b.Metrics["tasks/op"]; ok && tasks > 0 {
+				b.Metrics["ns/task"] = ns / tasks
+			}
+		}
 		sum.Benchmarks = append(sum.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
@@ -101,6 +116,102 @@ func parse(r io.Reader) (Summary, error) {
 	return sum, nil
 }
 
+// sizeSuffix splits a benchmark family name from its trailing cluster
+// size: "BenchmarkServeN1000" -> ("BenchmarkServeN", 1000, true).
+var sizeSuffix = regexp.MustCompile(`^(.*N)(\d+)$`)
+
+// perTaskTrends renders one line per benchmark family that reports
+// ns/task at several cluster sizes, sizes ascending — a flat line means
+// per-task cost independent of N.
+func perTaskTrends(sum Summary) []string {
+	type point struct {
+		n  int
+		ns float64
+	}
+	families := map[string][]point{}
+	for _, b := range sum.Benchmarks {
+		ns, ok := b.Metrics["ns/task"]
+		if !ok {
+			continue
+		}
+		m := sizeSuffix.FindStringSubmatch(b.Name)
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		families[m[1]] = append(families[m[1]], point{n: n, ns: ns})
+	}
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		pts := families[name]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].n < pts[j].n })
+		line := name + " per-task:"
+		for _, pt := range pts {
+			line += fmt.Sprintf("  N=%d %.0fns", pt.n, pt.ns)
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// diffAgainst compares cur's per-op times to base's for benchmarks whose
+// name matches re, returning one line per comparison and the names that
+// regressed beyond maxRatio. Baselines under minNs are skipped — a
+// single-iteration smoke run cannot time a nanosecond benchmark reliably
+// enough to gate on.
+func diffAgainst(cur, base Summary, re *regexp.Regexp, maxRatio, minNs float64) (lines, regressed []string) {
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			baseNs[b.Name] = ns
+		}
+	}
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		seen[b.Name] = true
+		old, ok := baseNs[b.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op (no baseline)", b.Name, ns))
+			continue
+		}
+		if old < minNs {
+			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op (baseline %.0f below %.0f ns floor, skipped)", b.Name, ns, old, minNs))
+			continue
+		}
+		ratio := ns / old
+		status := "ok"
+		if ratio > maxRatio {
+			status = "REGRESSED"
+			regressed = append(regressed, b.Name)
+		}
+		lines = append(lines, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx) %s", b.Name, ns, old, ratio, status))
+	}
+	// A gated benchmark that vanished (renamed, filtered out, failed to
+	// build) would otherwise lose its regression gate silently.
+	for _, b := range base.Benchmarks {
+		if re.MatchString(b.Name) && !seen[b.Name] {
+			lines = append(lines, fmt.Sprintf("%s: MISSING from current run (baseline %.0f ns/op)", b.Name, baseNs[b.Name]))
+			regressed = append(regressed, b.Name)
+		}
+	}
+	return lines, regressed
+}
+
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -108,6 +219,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "input file (default stdin)")
 	out := fs.String("out", "", "output file (default stdout)")
+	against := fs.String("against", "", "baseline summary JSON to diff per-op times against ('' disables)")
+	match := fs.String("match", "BenchmarkServe|BenchmarkRoute", "regexp selecting benchmarks for the baseline diff")
+	maxRatio := fs.Float64("maxratio", 2.0, "fail when current/baseline ns/op exceeds this")
+	minNs := fs.Float64("minns", 1000, "skip baselines faster than this many ns/op (too noisy to gate on)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -141,6 +256,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := enc.Encode(sum); err != nil {
 		fmt.Fprintln(stderr, "benchsummary:", err)
 		return 1
+	}
+	// The scaling trend and the baseline diff go to stderr, keeping stdout
+	// clean for the JSON document when no -out file is given.
+	for _, line := range perTaskTrends(sum) {
+		fmt.Fprintln(stderr, line)
+	}
+	if *against != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchsummary: -match:", err)
+			return 2
+		}
+		bb, err := os.ReadFile(*against)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchsummary:", err)
+			return 1
+		}
+		var base Summary
+		if err := json.Unmarshal(bb, &base); err != nil {
+			fmt.Fprintf(stderr, "benchsummary: %s: %v\n", *against, err)
+			return 1
+		}
+		lines, regressed := diffAgainst(sum, base, re, *maxRatio, *minNs)
+		for _, line := range lines {
+			fmt.Fprintln(stderr, line)
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(stderr, "benchsummary: %d benchmark(s) regressed more than %.1fx vs %s: %s\n",
+				len(regressed), *maxRatio, *against, strings.Join(regressed, ", "))
+			return 1
+		}
 	}
 	return 0
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -37,8 +38,100 @@ func TestParseBenchOutput(t *testing.T) {
 	if b.Metrics["ns/op"] != 55012345 || b.Metrics["tasks/op"] != 100000 {
 		t.Fatalf("metrics %v", b.Metrics)
 	}
+	if got := b.Metrics["ns/task"]; got != 55012345.0/100000 {
+		t.Fatalf("ns/task = %v, want derived %v", got, 55012345.0/100000)
+	}
 	if sum.Benchmarks[1].Metrics["allocs/op"] != 789 {
 		t.Fatalf("second metrics %v", sum.Benchmarks[1].Metrics)
+	}
+}
+
+func TestPerTaskTrends(t *testing.T) {
+	sum := Summary{Benchmarks: []Benchmark{
+		{Name: "BenchmarkServeN1000", Metrics: map[string]float64{"ns/task": 765}},
+		{Name: "BenchmarkServeN100", Metrics: map[string]float64{"ns/task": 538}},
+		{Name: "BenchmarkServeN10000", Metrics: map[string]float64{"ns/task": 600}},
+		{Name: "BenchmarkNoTasks", Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	lines := perTaskTrends(sum)
+	if len(lines) != 1 {
+		t.Fatalf("trend lines %v, want one family", lines)
+	}
+	want := "BenchmarkServeN per-task:  N=100 538ns  N=1000 765ns  N=10000 600ns"
+	if lines[0] != want {
+		t.Fatalf("trend line %q, want %q", lines[0], want)
+	}
+}
+
+func TestDiffAgainst(t *testing.T) {
+	cur := Summary{Benchmarks: []Benchmark{
+		{Name: "BenchmarkServeN100", Metrics: map[string]float64{"ns/op": 5_000_000}},
+		{Name: "BenchmarkServeN1000", Metrics: map[string]float64{"ns/op": 200_000_000}},
+		{Name: "BenchmarkRouteJSQ/N100", Metrics: map[string]float64{"ns/op": 900}},
+		{Name: "BenchmarkServeN10000", Metrics: map[string]float64{"ns/op": 1_000_000_000}},
+		{Name: "BenchmarkUnrelated", Metrics: map[string]float64{"ns/op": 1e12}},
+	}}
+	base := Summary{Benchmarks: []Benchmark{
+		{Name: "BenchmarkServeN100", Metrics: map[string]float64{"ns/op": 5_400_000}},
+		{Name: "BenchmarkServeN1000", Metrics: map[string]float64{"ns/op": 76_000_000}},
+		{Name: "BenchmarkRouteJSQ/N100", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkServeGone", Metrics: map[string]float64{"ns/op": 1_000_000}},
+	}}
+	re := regexp.MustCompile("BenchmarkServe|BenchmarkRoute")
+	lines, regressed := diffAgainst(cur, base, re, 2.0, 1000)
+	if len(regressed) != 2 || regressed[0] != "BenchmarkServeN1000" || regressed[1] != "BenchmarkServeGone" {
+		t.Fatalf("regressed %v, want [BenchmarkServeN1000 BenchmarkServeGone]", regressed)
+	}
+	// Four matching current benchmarks (ok, regressed, below-floor skip,
+	// no-baseline) plus the vanished baseline entry.
+	if len(lines) != 5 {
+		t.Fatalf("diff lines %d, want 5:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"REGRESSED", "no baseline", "skipped", "MISSING", "BenchmarkUnrelated"} {
+		if want == "BenchmarkUnrelated" {
+			if strings.Contains(joined, want) {
+				t.Fatalf("non-matching benchmark leaked into the diff:\n%s", joined)
+			}
+			continue
+		}
+		if !strings.Contains(joined, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRunFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	baseline := filepath.Join(dir, "base.json")
+	// Current run: ServeN1000 at 810 ms/op vs an 81 ms baseline (10x).
+	if err := os.WriteFile(in, []byte(strings.Replace(sample, "81234567 ns/op", "812345678 ns/op", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, bb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-in", in, "-against", baseline}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "BenchmarkServeN1000") {
+		t.Fatalf("regression report missing the benchmark: %s", stderr.String())
+	}
+	// The same diff with headroom passes.
+	code = run([]string{"-in", in, "-against", baseline, "-maxratio", "100"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d with generous ratio, want 0; stderr: %s", code, stderr.String())
 	}
 }
 

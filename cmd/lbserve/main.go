@@ -9,6 +9,11 @@
 //	lbserve -scenario hotspot -nodes 1000 -policy pod2 -rate 5000 -horizon 60
 //	lbserve -scenario diurnal -nodes 100 -policy lew -rate 100 -horizon 120
 //	lbserve -scenario correlated -nodes 200 -policy jsq -rate 200 -out results
+//	lbserve -scenario uniform -nodes 500 -policy lew -rate 1000 -reps 20
+//
+// With -reps > 1 the replications fan out over the Monte-Carlo worker
+// pool (capped by -workers; 0 = all CPUs) and the report shows means ±95%
+// CI plus pooled latency percentiles — bit-identical for any worker count.
 package main
 
 import (
@@ -81,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		delta   = fs.Float64("delta", 0.02, "mean transfer delay per task, s")
 		window  = fs.Float64("window", 0, "telemetry window, s (0 = horizon/100)")
 		seed    = fs.Uint64("seed", 1, "root seed")
+		reps    = fs.Int("reps", 1, "replications; >1 aggregates a parallel Monte-Carlo estimate")
+		workers = fs.Int("workers", 0, "worker goroutines for -reps (0 = GOMAXPROCS)")
 		outDir  = fs.String("out", "", "directory for the telemetry time-series CSV ('' disables)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -128,6 +135,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if opt.WavePeriod <= 0 {
 			opt.WaveAmplitude, opt.WavePeriod = 0.8, *horizon/2
 		}
+	}
+
+	if *reps > 1 {
+		if *outDir != "" {
+			fmt.Fprintln(stderr, "lbserve: note: -out applies to single runs; no time-series CSV is written with -reps > 1")
+		}
+		opt.Workers = *workers
+		est, err := churnlb.ServeMany(systemFrom(sc.Params), pol, router, *reps, *seed, opt)
+		if err != nil {
+			fmt.Fprintln(stderr, "lbserve:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "scenario %s policy %s rate %.4g/s horizon %.4gs delta %.4gs reps %d\n",
+			sc.Name, *polStr, *rate, *horizon, *delta, *reps)
+		fmt.Fprintf(stdout, "p50 %.3f ±%.3f s  p99 %.3f ±%.3f s  (means over %d completing replications)\n",
+			est.P50.Mean, est.P50.CI95, est.P99.Mean, est.P99.CI95, est.N)
+		fmt.Fprintf(stdout, "pooled sojourn p50 %.3f s  p90 %.3f s  p99 %.3f s  (all tasks, merged sketches)\n",
+			est.PooledP50, est.PooledP90, est.PooledP99)
+		fmt.Fprintf(stdout, "throughput %.2f ±%.2f /s  availability %.1f%% ±%.1f%%\n",
+			est.Throughput.Mean, est.Throughput.CI95,
+			100*est.Availability.Mean, 100*est.Availability.CI95)
+		return 0
 	}
 
 	res, err := churnlb.Serve(systemFrom(sc.Params), pol, router, *seed, opt)

@@ -24,6 +24,28 @@ func TestBadFlagsRejected(t *testing.T) {
 	}
 }
 
+func TestServeRepsSmoke(t *testing.T) {
+	base := []string{"-scenario", "uniform", "-nodes", "30", "-policy", "jsq",
+		"-rate", "40", "-horizon", "10", "-reps", "5"}
+	var out, errb bytes.Buffer
+	if code := run(append(base, "-workers", "1"), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"reps 5", "p50", "pooled sojourn", "throughput", "availability"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The estimate must not depend on the worker count.
+	var out4 bytes.Buffer
+	if code := run(append(base, "-workers", "4"), &out4, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != out4.String() {
+		t.Fatalf("-workers changed the report:\n%s\nvs\n%s", out.String(), out4.String())
+	}
+}
+
 func TestServeSmoke(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-scenario", "hotspot", "-nodes", "40", "-policy", "pod2",

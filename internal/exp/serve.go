@@ -95,24 +95,31 @@ func runServe(cfg Config) (*Result, error) {
 		flights[delta] = make(map[string]float64)
 		for _, sv := range serveConfigs() {
 			cfg.logf("serve: delta=%.2f %s (%d reps)", delta, sv.name, reps)
+			o := opt
+			o.Policy = sv.policy
+			o.NewRouter = sv.newRouter
+			o.Seed = cfg.Seed
+			// Replications fan out over the mc worker pool; RunMany uses
+			// the same MixSeed(cfg.Seed, rep) layout the serial loop did,
+			// and folding the rep-indexed summaries in order keeps the
+			// statistics bit-identical to it.
+			sums := make([]metrics.Summary, reps)
+			err := serve.RunMany(o, reps, 0, func(rep int, run *serve.Result) {
+				sums[rep] = run.Summary
+			})
+			if err != nil {
+				return nil, err
+			}
 			var p50, p99, thr, flight, avail stats.Welford
-			for rep := 0; rep < reps; rep++ {
-				o := opt
-				o.Policy = sv.policy
-				o.NewRouter = sv.newRouter
-				o.Seed = serve.MixSeed(cfg.Seed, rep)
-				run, err := serve.Run(o)
-				if err != nil {
-					return nil, err
-				}
-				if run.Summary.Completed == 0 {
+			for _, sum := range sums {
+				if sum.Completed == 0 {
 					continue
 				}
-				p50.Add(run.Summary.P50)
-				p99.Add(run.Summary.P99)
-				thr.Add(run.Summary.Throughput)
-				flight.Add(run.Summary.InFlight)
-				avail.Add(run.Summary.Availability)
+				p50.Add(sum.P50)
+				p99.Add(sum.P99)
+				thr.Add(sum.Throughput)
+				flight.Add(sum.InFlight)
+				avail.Add(sum.Availability)
 			}
 			p99s[delta][sv.name] = p99.Mean()
 			flights[delta][sv.name] = flight.Mean()

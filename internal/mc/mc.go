@@ -35,11 +35,16 @@ type Options struct {
 	Seed uint64
 }
 
-// Run executes f for every replication and aggregates the samples.
-// The first replication error aborts the run.
-func Run(opt Options, f Replication) (Estimate, error) {
+// ForEach runs fn for every replication index 0..Reps-1 on the worker
+// pool and returns the lowest-indexed error, if any. It is the raw
+// parallel-for underneath Run, exported for callers whose replications
+// produce more than one scalar (the serving layer collects whole metric
+// summaries per replication): fn writes into rep-indexed storage, so the
+// aggregate is bit-identical no matter how many workers executed it.
+// Unlike Run, fn derives its own randomness (opt.Seed is unused here).
+func ForEach(opt Options, fn func(rep int) error) error {
 	if opt.Reps <= 0 {
-		return Estimate{}, fmt.Errorf("mc: Reps must be positive, got %d", opt.Reps)
+		return fmt.Errorf("mc: Reps must be positive, got %d", opt.Reps)
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -49,12 +54,11 @@ func Run(opt Options, f Replication) (Estimate, error) {
 		workers = opt.Reps
 	}
 
-	samples := make([]float64, opt.Reps)
 	errs := make([]error, opt.Reps)
 	// Replications are claimed off a lock-free counter: short replications
 	// (large clusters make them seconds, the paper's two nodes make them
 	// microseconds) would otherwise serialise on a mutex. Determinism is
-	// untouched — every sample is keyed by its replication index, not by
+	// untouched — every result is keyed by its replication index, not by
 	// which worker ran it.
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -67,18 +71,34 @@ func Run(opt Options, f Replication) (Estimate, error) {
 				if rep >= opt.Reps {
 					return
 				}
-				rng := xrand.NewStream(opt.Seed, uint64(rep))
-				v, err := f(rng, rep)
-				samples[rep] = v
-				errs[rep] = err
+				errs[rep] = fn(rep)
 			}
 		}()
 	}
 	wg.Wait()
 	for rep, err := range errs {
 		if err != nil {
-			return Estimate{}, fmt.Errorf("mc: replication %d: %w", rep, err)
+			return fmt.Errorf("mc: replication %d: %w", rep, err)
 		}
+	}
+	return nil
+}
+
+// Run executes f for every replication and aggregates the samples.
+// The first replication error aborts the run.
+func Run(opt Options, f Replication) (Estimate, error) {
+	if opt.Reps <= 0 {
+		return Estimate{}, fmt.Errorf("mc: Reps must be positive, got %d", opt.Reps)
+	}
+	samples := make([]float64, opt.Reps)
+	err := ForEach(opt, func(rep int) error {
+		rng := xrand.NewStream(opt.Seed, uint64(rep))
+		v, err := f(rng, rep)
+		samples[rep] = v
+		return err
+	})
+	if err != nil {
+		return Estimate{}, err
 	}
 	return Estimate{Summary: stats.Summarize(samples), Samples: samples}, nil
 }

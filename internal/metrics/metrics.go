@@ -119,6 +119,131 @@ func (e *P2) linear(i int, d float64) float64 {
 	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
 }
 
+// Clone returns an independent copy of the sketch.
+func (e *P2) Clone() *P2 {
+	c := *e // the marker arrays are values, so this is a deep copy
+	return &c
+}
+
+// Merge folds o's observations into e, so e approximates the sketch of
+// the pooled stream — the primitive behind cross-replication latency
+// percentiles. While either side holds fewer than five raw observations
+// the merge is exact (the raw values are replayed); beyond that the
+// mixture CDF of the two marker sets is inverted at e's desired marker
+// quantiles, the standard approximate P² combination. Merging is
+// deterministic: the same (e, o) pair always produces the same result,
+// so a fixed merge order yields worker-count-independent aggregates.
+// Both sketches must target the same quantile. o is not modified.
+func (e *P2) Merge(o *P2) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if e.p != o.p {
+		panic("metrics: cannot merge P2 sketches with different quantiles")
+	}
+	if o.n < 5 {
+		for _, x := range o.q[:o.n] {
+			e.Add(x)
+		}
+		return
+	}
+	if e.n < 5 {
+		raw := e.q
+		rawN := e.n
+		*e = *o
+		for _, x := range raw[:rawN] {
+			e.Add(x)
+		}
+		return
+	}
+	n1, n2 := float64(e.n), float64(o.n)
+	total := n1 + n2
+	// Breakpoints of the mixture CDF: every marker height of either side,
+	// with its pooled cumulative fraction.
+	var xs [10]float64
+	copy(xs[:5], e.q[:])
+	copy(xs[5:], o.q[:])
+	sort.Float64s(xs[:])
+	var fs [10]float64
+	for i, x := range xs {
+		fs[i] = (n1*e.cdfAt(x) + n2*o.cdfAt(x)) / total
+	}
+	// Invert at the five desired fractions {0, p/2, p, (1+p)/2, 1}.
+	fractions := [5]float64{0, e.p / 2, e.p, (1 + e.p) / 2, 1}
+	var q [5]float64
+	q[0] = math.Min(e.q[0], o.q[0])
+	q[4] = math.Max(e.q[4], o.q[4])
+	for j := 1; j <= 3; j++ {
+		q[j] = invertCDF(xs[:], fs[:], fractions[j])
+		if q[j] < q[0] {
+			q[j] = q[0]
+		}
+		if q[j] > q[4] {
+			q[j] = q[4]
+		}
+	}
+	// Markers must stay strictly ordered for future parabolic updates;
+	// collapse any inversion introduced by interpolation.
+	for j := 1; j < 5; j++ {
+		if q[j] < q[j-1] {
+			q[j] = q[j-1]
+		}
+	}
+	e.n = int(total)
+	e.q = q
+	// Desired positions continue the P² schedule at the pooled count; the
+	// actual positions restart there, the best available estimate.
+	e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+	for i := range e.want {
+		e.want[i] += e.inc[i] * (total - 5)
+	}
+	e.pos = e.want
+	e.pos[0] = 1
+	e.pos[4] = total
+}
+
+// cdfAt evaluates the sketch's piecewise-linear CDF estimate at x, with
+// markers q[i] at cumulative fractions pos[i]/n.
+func (e *P2) cdfAt(x float64) float64 {
+	n := float64(e.n)
+	switch {
+	case x <= e.q[0]:
+		if x < e.q[0] {
+			return 0
+		}
+		return e.pos[0] / n
+	case x >= e.q[4]:
+		return 1
+	}
+	for i := 1; i < 5; i++ {
+		if x < e.q[i] {
+			f0, f1 := e.pos[i-1]/n, e.pos[i]/n
+			if e.q[i] == e.q[i-1] {
+				return f1
+			}
+			return f0 + (f1-f0)*(x-e.q[i-1])/(e.q[i]-e.q[i-1])
+		}
+	}
+	return 1
+}
+
+// invertCDF returns the x with mixture CDF ≈ f by linear interpolation
+// over the sorted breakpoints.
+func invertCDF(xs, fs []float64, f float64) float64 {
+	if f <= fs[0] {
+		return xs[0]
+	}
+	for i := 1; i < len(xs); i++ {
+		if f <= fs[i] {
+			if fs[i] == fs[i-1] {
+				return xs[i]
+			}
+			return xs[i-1] + (xs[i]-xs[i-1])*(f-fs[i-1])/(fs[i]-fs[i-1])
+		}
+	}
+	return xs[len(xs)-1]
+}
+
 // Value returns the current quantile estimate. With fewer than five
 // observations it falls back to the exact small-sample quantile; with
 // none it returns NaN.
@@ -331,6 +456,45 @@ func (c *Collector) TransferArrived(_, tasks int, t float64) {
 	c.advance(t)
 	c.inFlight -= tasks
 	c.queued += tasks
+}
+
+// LatencySketch bundles the whole-run sojourn-time percentile sketches of
+// one realisation, so replication aggregators can pool latency across
+// runs instead of averaging per-run percentiles.
+type LatencySketch struct {
+	P50, P90, P99 *P2
+}
+
+// Clone returns an independent copy of the sketch bundle.
+func (s LatencySketch) Clone() LatencySketch {
+	c := LatencySketch{}
+	if s.P50 != nil {
+		c.P50 = s.P50.Clone()
+	}
+	if s.P90 != nil {
+		c.P90 = s.P90.Clone()
+	}
+	if s.P99 != nil {
+		c.P99 = s.P99.Clone()
+	}
+	return c
+}
+
+// Merge folds o into s pairwise per percentile; nil sketches are treated
+// as empty.
+func (s *LatencySketch) Merge(o LatencySketch) {
+	if s.P50 == nil {
+		s.P50, s.P90, s.P99 = NewP2(0.50), NewP2(0.90), NewP2(0.99)
+	}
+	s.P50.Merge(o.P50)
+	s.P90.Merge(o.P90)
+	s.P99.Merge(o.P99)
+}
+
+// Sketches returns independent copies of the collector's whole-run
+// percentile sketches, safe to retain and merge after the run.
+func (c *Collector) Sketches() LatencySketch {
+	return LatencySketch{P50: c.p50.Clone(), P90: c.p90.Clone(), P99: c.p99.Clone()}
 }
 
 // --- results ---

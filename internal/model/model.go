@@ -156,6 +156,81 @@ type State struct {
 	InFlightTasks int
 }
 
+// StateView is a read-only view of the system state handed to the routing
+// hot path. Unlike State it carries no slices of its own: a live view's
+// accessors read the simulator's working arrays directly, so building one
+// costs nothing no matter how many nodes the cluster has. A view (and
+// anything read through it) is only valid for the duration of the call it
+// was passed to; callers that must retain state across calls should keep
+// AsState(v).Clone() — AsState alone may hand back a buffer the
+// realisation reuses.
+type StateView interface {
+	// Time is the current simulated time.
+	Time() float64
+	// N is the number of nodes.
+	N() int
+	// Queue returns the number of tasks queued at node i.
+	Queue(i int) int
+	// Up reports whether node i is in the working state.
+	Up(i int) bool
+	// InFlight returns the number of tasks in transfer flight.
+	InFlight() int
+}
+
+// ScoreIndexed is the optional StateView extension exposed by realisations
+// that maintain an incremental routing-score index: MinScoreNode returns
+// the node minimising the registered score (ties to the lowest index) in
+// O(1), or ok=false when no index is active — callers then fall back to a
+// full scan.
+type ScoreIndexed interface {
+	MinScoreNode() (node int, ok bool)
+}
+
+// SnapshotView adapts a copied State to the StateView interface — the
+// retainable snapshot handed out by traced runs and tests. It never
+// carries a score index.
+type SnapshotView struct {
+	State State
+}
+
+// Time implements StateView.
+func (v SnapshotView) Time() float64 { return v.State.Time }
+
+// N implements StateView.
+func (v SnapshotView) N() int { return len(v.State.Queues) }
+
+// Queue implements StateView.
+func (v SnapshotView) Queue(i int) int { return v.State.Queues[i] }
+
+// Up implements StateView.
+func (v SnapshotView) Up(i int) bool { return v.State.Up[i] }
+
+// InFlight implements StateView.
+func (v SnapshotView) InFlight() int { return v.State.InFlightTasks }
+
+// AsState returns the State behind v: the wrapped State without copying
+// when v is a SnapshotView, and a freshly materialized copy otherwise.
+// Like the view itself, the result is only valid for the duration of the
+// call v was passed to — a SnapshotView may wrap a scratch buffer the
+// realisation refills at the next event. Clone the result to retain it.
+func AsState(v StateView) State {
+	if sv, ok := v.(SnapshotView); ok {
+		return sv.State
+	}
+	n := v.N()
+	s := State{
+		Time:          v.Time(),
+		Queues:        make([]int, n),
+		Up:            make([]bool, n),
+		InFlightTasks: v.InFlight(),
+	}
+	for i := 0; i < n; i++ {
+		s.Queues[i] = v.Queue(i)
+		s.Up[i] = v.Up(i)
+	}
+	return s
+}
+
 // TotalQueued returns the number of queued tasks across all nodes.
 func (s State) TotalQueued() int {
 	t := 0

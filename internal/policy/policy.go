@@ -32,9 +32,15 @@ type Policy interface {
 
 // ArrivalBalancer is implemented by policies that additionally rebalance
 // when external workload arrives (the dynamic extension sketched in the
-// paper's conclusion).
+// paper's conclusion). Unlike the rare Initial/OnFailure hooks this one
+// sits on the arrival hot path, so it receives the zero-copy StateView:
+// implementations that only sample a few nodes pay O(1) per arrival, and
+// those that need the whole vector recover it via model.AsState (free when
+// the view wraps a snapshot, one materializing copy otherwise). The view
+// and the AsState result are valid only for the duration of the call —
+// retaining state across arrivals requires AsState(v).Clone().
 type ArrivalBalancer interface {
-	OnArrival(node int, s model.State, p model.Params) []model.Transfer
+	OnArrival(node int, v model.StateView, p model.Params) []model.Transfer
 }
 
 // NoBalance performs no transfers at all; the baseline every comparison
@@ -326,9 +332,11 @@ func (d Dynamic) OnFailure(failed int, s model.State, p model.Params) []model.Tr
 }
 
 // OnArrival implements ArrivalBalancer by replaying the base policy's
-// initial balance against the current snapshot.
-func (d Dynamic) OnArrival(_ int, s model.State, p model.Params) []model.Transfer {
-	return d.Base.Initial(s, p)
+// initial balance against the current state. A balancing episode reads
+// every queue anyway, so materializing the view costs nothing extra
+// asymptotically.
+func (d Dynamic) OnArrival(_ int, v model.StateView, p model.Params) []model.Transfer {
+	return d.Base.Initial(model.AsState(v), p)
 }
 
 // proportionalRebalance ships gain-scaled excess (relative to weighted

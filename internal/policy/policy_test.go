@@ -287,7 +287,7 @@ func TestDynamicWrapsBase(t *testing.T) {
 	if len(d.Initial(s, p)) != 1 {
 		t.Fatal("dynamic initial should delegate")
 	}
-	if len(d.OnArrival(0, s, p)) != 1 {
+	if len(d.OnArrival(0, model.SnapshotView{State: s}, p)) != 1 {
 		t.Fatal("dynamic arrival should rebalance")
 	}
 	if len(d.OnFailure(1, s, p)) == 0 {

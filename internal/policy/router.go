@@ -17,13 +17,33 @@ import (
 // recovery time.
 //
 // Routers may keep per-run state (RoundRobin does); supply a fresh
-// instance to every realisation. The snapshot passed to Route is only
-// valid for the duration of the call.
+// instance to every realisation. The view passed to Route is only valid
+// for the duration of the call; retain state via model.AsState(v).Clone().
 type Router interface {
 	// Name identifies the router in reports.
 	Name() string
 	// Route returns the node index that receives the arriving task batch.
-	Route(s model.State, p model.Params, rng *xrand.Rand) int
+	Route(v model.StateView, p model.Params, rng *xrand.Rand) int
+}
+
+// RouteScore maps one node's live state to the routing score an
+// incremental index maintains: lower wins, ties to the lowest index. The
+// function must be pure — the same (i, queue, up) must always produce the
+// same score — because the index only re-evaluates it when node i's queue
+// or up state changes.
+type RouteScore func(i, queue int, up bool) float64
+
+// IndexedRouter is implemented by routers whose full-scan argmin can be
+// maintained incrementally by the realisation. When the installed router
+// returns a non-nil RouteScore, the simulator keeps a score-keyed indexed
+// min-heap fresh across every queue and up/down mutation and exposes its
+// argmin through model.ScoreIndexed, turning each Route call from an O(n)
+// rescan into an O(1) lookup.
+type IndexedRouter interface {
+	Router
+	// RouteScore returns the score to index for parameter set p, or nil
+	// when this configuration routes by sampling and needs no index.
+	RouteScore(p model.Params) RouteScore
 }
 
 // RoundRobin cycles through nodes in index order regardless of queue
@@ -39,7 +59,7 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 func (*RoundRobin) Name() string { return "rr" }
 
 // Route implements Router.
-func (r *RoundRobin) Route(s model.State, p model.Params, _ *xrand.Rand) int {
+func (r *RoundRobin) Route(v model.StateView, p model.Params, _ *xrand.Rand) int {
 	i := r.next % p.N()
 	r.next++
 	return i
@@ -48,18 +68,30 @@ func (r *RoundRobin) Route(s model.State, p model.Params, _ *xrand.Rand) int {
 // JSQ joins the shortest queue over all nodes (ties to the lowest index).
 // It is churn-blind: a down node's frozen queue looks exactly as
 // attractive as a live one, which is precisely the failure mode the
-// churn-aware router exists to fix. Route is O(n) per task — the
-// informed-but-expensive end of the family.
+// churn-aware router exists to fix. Against a score-indexed live view a
+// Route is O(1); against a plain snapshot it falls back to the O(n) scan.
 type JSQ struct{}
 
 // Name implements Router.
 func (JSQ) Name() string { return "jsq" }
 
+// RouteScore implements IndexedRouter: the score is the queue length
+// itself, so the indexed argmin reproduces the scan's pick exactly
+// (shortest queue, lowest index on ties).
+func (JSQ) RouteScore(model.Params) RouteScore {
+	return func(_, queue int, _ bool) float64 { return float64(queue) }
+}
+
 // Route implements Router.
-func (JSQ) Route(s model.State, _ model.Params, _ *xrand.Rand) int {
+func (JSQ) Route(v model.StateView, _ model.Params, _ *xrand.Rand) int {
+	if ix, ok := v.(model.ScoreIndexed); ok {
+		if i, ok := ix.MinScoreNode(); ok {
+			return i
+		}
+	}
 	best := 0
-	for i := 1; i < len(s.Queues); i++ {
-		if s.Queues[i] < s.Queues[best] {
+	for i := 1; i < v.N(); i++ {
+		if v.Queue(i) < v.Queue(best) {
 			best = i
 		}
 	}
@@ -85,12 +117,12 @@ func (r PowerOfD) choices() int {
 }
 
 // Route implements Router.
-func (r PowerOfD) Route(s model.State, p model.Params, rng *xrand.Rand) int {
+func (r PowerOfD) Route(v model.StateView, p model.Params, rng *xrand.Rand) int {
 	n := p.N()
 	best := rng.Intn(n)
 	for d := 1; d < r.choices(); d++ {
 		c := rng.Intn(n)
-		if s.Queues[c] < s.Queues[best] {
+		if v.Queue(c) < v.Queue(best) {
 			best = c
 		}
 	}
@@ -103,8 +135,9 @@ func (r PowerOfD) Route(s model.State, p model.Params, rng *xrand.Rand) int {
 // down node its expected remaining recovery time 1/λr — the paper's
 // failure-and-recovery statistics transplanted from transfer sizing to
 // dispatch. With D > 0 it scores D sampled nodes (O(d) per task, the
-// drop-in churn-aware counterpart of PowerOfD); with D = 0 it scans all
-// nodes (the idealised counterpart of JSQ).
+// drop-in churn-aware counterpart of PowerOfD); with D = 0 it considers
+// all nodes (the idealised counterpart of JSQ) — O(1) against a
+// score-indexed live view, an O(n) scan against a plain snapshot.
 type LeastExpectedWork struct {
 	// D is the number of sampled choices; 0 scans every node.
 	D int
@@ -119,32 +152,48 @@ func (r LeastExpectedWork) Name() string {
 }
 
 // score returns the expected completion delay of a task joining node i.
-func (LeastExpectedWork) score(i int, s model.State, p model.Params) float64 {
-	w := float64(s.Queues[i]+1) / p.EffectiveRate(i)
-	if !s.Up[i] && p.RecRate[i] > 0 {
+func (LeastExpectedWork) score(i, queue int, up bool, p model.Params) float64 {
+	w := float64(queue+1) / p.EffectiveRate(i)
+	if !up && p.RecRate[i] > 0 {
 		w += 1 / p.RecRate[i]
 	}
 	return w
 }
 
+// RouteScore implements IndexedRouter: the full-scan configuration (D = 0)
+// indexes the expected-delay score, evaluated with exactly the arithmetic
+// of the scan so the indexed argmin is bit-identical to it; sampled
+// configurations (D > 0) return nil.
+func (r LeastExpectedWork) RouteScore(p model.Params) RouteScore {
+	if r.D > 0 {
+		return nil
+	}
+	return func(i, queue int, up bool) float64 { return r.score(i, queue, up, p) }
+}
+
 // Route implements Router.
-func (r LeastExpectedWork) Route(s model.State, p model.Params, rng *xrand.Rand) int {
+func (r LeastExpectedWork) Route(v model.StateView, p model.Params, rng *xrand.Rand) int {
 	n := p.N()
 	if r.D <= 0 {
+		if ix, ok := v.(model.ScoreIndexed); ok {
+			if i, ok := ix.MinScoreNode(); ok {
+				return i
+			}
+		}
 		best := 0
-		bestW := r.score(0, s, p)
+		bestW := r.score(0, v.Queue(0), v.Up(0), p)
 		for i := 1; i < n; i++ {
-			if w := r.score(i, s, p); w < bestW {
+			if w := r.score(i, v.Queue(i), v.Up(i), p); w < bestW {
 				best, bestW = i, w
 			}
 		}
 		return best
 	}
 	best := rng.Intn(n)
-	bestW := r.score(best, s, p)
+	bestW := r.score(best, v.Queue(best), v.Up(best), p)
 	for d := 1; d < r.D; d++ {
 		c := rng.Intn(n)
-		if w := r.score(c, s, p); w < bestW {
+		if w := r.score(c, v.Queue(c), v.Up(c), p); w < bestW {
 			best, bestW = c, w
 		}
 	}

@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+
+	"churnlb/internal/model"
+	"churnlb/internal/xrand"
+)
+
+// benchSnapshot builds an n-node snapshot view with random queues — the
+// un-indexed state a router must scan.
+func benchSnapshot(n int) (model.StateView, model.Params, *xrand.Rand) {
+	rng := xrand.NewStream(1, uint64(n))
+	p := model.Params{
+		ProcRate: make([]float64, n),
+		FailRate: make([]float64, n),
+		RecRate:  make([]float64, n),
+	}
+	s := model.State{Queues: make([]int, n), Up: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		p.ProcRate[i] = 0.5 + 2*rng.Float64()
+		p.FailRate[i] = 0.01
+		p.RecRate[i] = 0.05
+		s.Queues[i] = rng.Intn(50)
+		s.Up[i] = rng.Float64() < 0.9
+	}
+	return model.SnapshotView{State: s}, p, rng
+}
+
+// benchRoute times one Route call against a plain snapshot (no index):
+// the O(n)-scan path for JSQ/LEW, the O(d) path for the samplers. The
+// indexed counterparts live in internal/sim (BenchmarkRoute*Indexed).
+func benchRoute(b *testing.B, r Router) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			v, p, rng := benchSnapshot(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := r.Route(v, p, rng); got < 0 || got >= n {
+					b.Fatalf("invalid node %d", got)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteJSQ times scan-based JSQ dispatch — linear in N.
+func BenchmarkRouteJSQ(b *testing.B) { benchRoute(b, JSQ{}) }
+
+// BenchmarkRouteLEW times scan-based full LeastExpectedWork dispatch —
+// linear in N.
+func BenchmarkRouteLEW(b *testing.B) { benchRoute(b, LeastExpectedWork{}) }
+
+// BenchmarkRoutePod2 times power-of-two-choices dispatch — O(1) in N, the
+// sampling reference point for the indexed routers.
+func BenchmarkRoutePod2(b *testing.B) { benchRoute(b, PowerOfD{D: 2}) }

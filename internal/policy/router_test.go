@@ -7,7 +7,7 @@ import (
 	"churnlb/internal/xrand"
 )
 
-func routerState(queues []int, up []bool) (model.State, model.Params) {
+func routerState(queues []int, up []bool) (model.StateView, model.Params) {
 	n := len(queues)
 	if up == nil {
 		up = make([]bool, n)
@@ -25,7 +25,7 @@ func routerState(queues []int, up []bool) (model.State, model.Params) {
 		p.FailRate[i] = 0.01
 		p.RecRate[i] = 0.05
 	}
-	return model.State{Queues: queues, Up: up}, p
+	return model.SnapshotView{State: model.State{Queues: queues, Up: up}}, p
 }
 
 func TestRoundRobinCycles(t *testing.T) {

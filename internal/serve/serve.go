@@ -7,6 +7,7 @@ package serve
 import (
 	"fmt"
 
+	"churnlb/internal/mc"
 	"churnlb/internal/metrics"
 	"churnlb/internal/model"
 	"churnlb/internal/policy"
@@ -52,6 +53,9 @@ type Result struct {
 	Summary metrics.Summary
 	// Windows is the telemetry time series.
 	Windows []metrics.WindowStats
+	// Latency holds the run's sojourn-time percentile sketches, retained
+	// so replication aggregators can pool latency across runs.
+	Latency metrics.LatencySketch
 	// Sim is the underlying simulator result (completion time, churn and
 	// transfer counters, per-node processed counts).
 	Sim *sim.Result
@@ -99,8 +103,36 @@ func Run(opt Options) (*Result, error) {
 	return &Result{
 		Summary: col.Finalize(out.CompletionTime),
 		Windows: col.Windows(),
+		Latency: col.Sketches(),
 		Sim:     out,
 	}, nil
+}
+
+// RunMany executes reps independent realisations of opt in parallel on
+// the mc worker pool (workers caps the goroutines; 0 = GOMAXPROCS),
+// replication rep reseeded with MixSeed(opt.Seed, rep) — exactly the
+// seeds a serial loop over Run would use. Each completed replication is
+// handed to visit(rep, res) from the worker goroutine that ran it and
+// released afterwards, so only what visit retains stays in memory no
+// matter how many replications run. visit must tolerate concurrent calls
+// with distinct reps — write into rep-indexed storage; folding that
+// storage in index order afterwards also makes the aggregate
+// bit-identical for any worker count. The first replication error (by
+// index) aborts the run.
+func RunMany(opt Options, reps, workers int, visit func(rep int, r *Result)) error {
+	if reps <= 0 {
+		return fmt.Errorf("serve: RunMany needs positive reps")
+	}
+	return mc.ForEach(mc.Options{Reps: reps, Workers: workers}, func(rep int) error {
+		o := opt
+		o.Seed = MixSeed(opt.Seed, rep)
+		r, err := Run(o)
+		if err != nil {
+			return err
+		}
+		visit(rep, r)
+		return nil
+	})
 }
 
 // MixSeed derives the per-replication seed used by serving Monte-Carlo

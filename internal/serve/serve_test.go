@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"churnlb/internal/policy"
+	"churnlb/internal/scenario"
+)
+
+func testOptions(t *testing.T) Options {
+	t.Helper()
+	sc, err := scenario.Generate(scenario.Spec{Kind: scenario.Uniform, N: 8, TotalLoad: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Params:      sc.Params,
+		Policy:      policy.LBP2{K: 1},
+		NewRouter:   func() policy.Router { return policy.LeastExpectedWork{} },
+		InitialLoad: sc.InitialLoad,
+		InitialUp:   sc.InitialUp,
+		Rate:        6,
+		Horizon:     25,
+		Seed:        41,
+	}
+}
+
+// TestRunManyMatchesSerialLoop pins the contract that made the parallel
+// fan-out safe to adopt: RunMany must produce exactly the results of the
+// serial loop it replaced — same MixSeed layout, rep-indexed output.
+func TestRunManyMatchesSerialLoop(t *testing.T) {
+	opt := testOptions(t)
+	const reps = 5
+	want := make([]*Result, reps)
+	for rep := 0; rep < reps; rep++ {
+		o := opt
+		o.Seed = MixSeed(opt.Seed, rep)
+		r, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[rep] = r
+	}
+	got := make([]*Result, reps)
+	if err := RunMany(opt, reps, 0, func(rep int, r *Result) { got[rep] = r }); err != nil {
+		t.Fatal(err)
+	}
+	for rep := range want {
+		w, g := want[rep].Summary, got[rep].Summary
+		if w.Completed != g.Completed ||
+			math.Float64bits(w.P99) != math.Float64bits(g.P99) ||
+			math.Float64bits(w.Throughput) != math.Float64bits(g.Throughput) {
+			t.Errorf("rep %d diverged: serial %+v, parallel %+v", rep, w, g)
+		}
+	}
+}
+
+// TestRunManyWorkerCountIndependent: any worker count, same bits.
+func TestRunManyWorkerCountIndependent(t *testing.T) {
+	opt := testOptions(t)
+	const reps = 7
+	collect := func(workers int) []*Result {
+		out := make([]*Result, reps)
+		if err := RunMany(opt, reps, workers, func(rep int, r *Result) { out[rep] = r }); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := collect(1)
+	for _, workers := range []int{2, 4, reps + 3} {
+		got := collect(workers)
+		for rep := range base {
+			b, g := base[rep].Summary, got[rep].Summary
+			if math.Float64bits(b.P50) != math.Float64bits(g.P50) ||
+				b.Arrived != g.Arrived || b.Completed != g.Completed {
+				t.Errorf("workers=%d rep %d diverged: %+v vs %+v", workers, rep, b, g)
+			}
+		}
+	}
+}
+
+// TestRunManyValidation rejects non-positive reps.
+func TestRunManyValidation(t *testing.T) {
+	if err := RunMany(testOptions(t), 0, 0, func(int, *Result) {}); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
+// TestRunExposesLatencySketches: the per-run sketches must agree with the
+// summary percentiles (they are the same estimators).
+func TestRunExposesLatencySketches(t *testing.T) {
+	res, err := Run(testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Completed == 0 {
+		t.Fatal("run completed nothing")
+	}
+	if res.Latency.P50 == nil || res.Latency.P99 == nil {
+		t.Fatal("latency sketches missing")
+	}
+	if got := res.Latency.P99.Value(); math.Float64bits(got) != math.Float64bits(res.Summary.P99) {
+		t.Fatalf("sketch p99 %v, summary %v", got, res.Summary.P99)
+	}
+	if res.Latency.P50.N() != res.Summary.Completed {
+		t.Fatalf("sketch saw %d tasks, summary %d", res.Latency.P50.N(), res.Summary.Completed)
+	}
+}
+
+// TestMixSeedSpreads is a light sanity check that the per-replication
+// seeds differ (the scheme behind parallel determinism).
+func TestMixSeedSpreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for rep := 0; rep < 100; rep++ {
+		s := MixSeed(1, rep)
+		if seen[s] {
+			t.Fatalf("duplicate seed %d at rep %d", s, rep)
+		}
+		seen[s] = true
+	}
+}

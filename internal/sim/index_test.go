@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"churnlb/internal/des"
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/xrand"
+)
+
+// TestScoreIndexRandomOps drives the indexed min-heap with random score
+// updates and checks its argmin against a naive scan after every one,
+// including the (score, index) tie-break.
+func TestScoreIndexRandomOps(t *testing.T) {
+	rng := xrand.NewStream(11, 3)
+	for _, n := range []int{1, 2, 3, 17, 128} {
+		x := newScoreIndex(n)
+		ref := make([]float64, n)
+		for op := 0; op < 4000; op++ {
+			i := rng.Intn(n)
+			// A coarse grid forces plenty of exact ties.
+			s := float64(rng.Intn(6))
+			x.set(i, s)
+			ref[i] = s
+			best := 0
+			for j := 1; j < n; j++ {
+				if ref[j] < ref[best] {
+					best = j
+				}
+			}
+			if got := x.min(); got != best {
+				t.Fatalf("n=%d op %d: index argmin %d (score %v), scan %d (score %v)",
+					n, op, got, ref[got], best, ref[best])
+			}
+		}
+	}
+}
+
+// TestLoadIndexMatchesScanEveryEvent is the equivalence property of the
+// incremental load index: replaying mixed workloads — external arrivals,
+// completions, transfers, failures and recoveries — the index argmin must
+// agree with a fresh O(n) reference scan after every single event, for
+// both indexable routers (JSQ's queue-length score and LEW's
+// expected-delay score) across randomized systems, policies and seeds.
+// It mirrors the accountingHook regression test for scanRemaining.
+func TestLoadIndexMatchesScanEveryEvent(t *testing.T) {
+	mismatches, events := 0, 0
+	indexHook = func(indexed, scanned int) {
+		events++
+		if indexed != scanned {
+			mismatches++
+		}
+	}
+	defer func() { indexHook = nil }()
+
+	f := func(seed uint16, nRaw, polRaw, routerRaw uint8) bool {
+		rng := xrand.NewStream(uint64(seed), 21)
+		n := 2 + int(nRaw)%6
+		p, load := randomParams(rng, n)
+
+		var pol policy.Policy
+		switch polRaw % 3 {
+		case 0:
+			pol = policy.LBP2{K: 1} // on-failure transfers
+		case 1:
+			pol = policy.Dynamic{Base: policy.LBP2{K: 1}} // transfers at every arrival
+		default:
+			pol = policy.LBP1Multi{K: 0.8} // initial transfers only
+		}
+		var router policy.Router
+		if routerRaw%2 == 0 {
+			router = policy.JSQ{}
+		} else {
+			router = policy.LeastExpectedWork{}
+		}
+		res, err := Run(Options{
+			Params:         p,
+			Policy:         pol,
+			InitialLoad:    load,
+			Rand:           rng,
+			ArrivalRate:    0.8,
+			ArrivalBatch:   1 + int(nRaw)%3,
+			ArrivalHorizon: 25,
+			Router:         router,
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return res.CompletionTime > 0 && mismatches == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("index hook never fired — no run maintained an index")
+	}
+	if mismatches > 0 {
+		t.Fatalf("load index diverged from the reference scan %d of %d times", mismatches, events)
+	}
+}
+
+// TestIndexedRoutingBitIdenticalToScan proves the end-to-end equivalence:
+// a traced run routes through retainable snapshots and the O(n) scan, an
+// untraced run through the live view and the incremental index, and for
+// the same seed both must make exactly the same decisions — bit-identical
+// completion times and identical per-node processed counts.
+func TestIndexedRoutingBitIdenticalToScan(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		router func() policy.Router
+	}{
+		{"jsq", func() policy.Router { return policy.JSQ{} }},
+		{"lew", func() policy.Router { return policy.LeastExpectedWork{} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(trace bool) *Result {
+				rng := xrand.NewStream(17, 5)
+				p, load := randomParams(rng, 6)
+				res, err := Run(Options{
+					Params:         p,
+					Policy:         policy.LBP2{K: 1},
+					InitialLoad:    load,
+					Rand:           rng,
+					ArrivalRate:    1.2,
+					ArrivalHorizon: 30,
+					Router:         tc.router(),
+					Trace:          trace,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			scan, indexed := run(true), run(false)
+			if math.Float64bits(scan.CompletionTime) != math.Float64bits(indexed.CompletionTime) {
+				t.Errorf("completion diverged: scan %v, indexed %v", scan.CompletionTime, indexed.CompletionTime)
+			}
+			for i := range scan.Processed {
+				if scan.Processed[i] != indexed.Processed[i] {
+					t.Errorf("Processed[%d]: scan %d, indexed %d", i, scan.Processed[i], indexed.Processed[i])
+				}
+			}
+			if scan.ExternalArrivals != indexed.ExternalArrivals {
+				t.Errorf("arrivals diverged: scan %d, indexed %d", scan.ExternalArrivals, indexed.ExternalArrivals)
+			}
+		})
+	}
+}
+
+// benchIndexedState builds a live, score-indexed view over n nodes with
+// random queue lengths — the state a router sees mid-run.
+func benchIndexedState(b *testing.B, n int, r policy.IndexedRouter) (*simState, *xrand.Rand) {
+	b.Helper()
+	rng := xrand.NewStream(1, uint64(n))
+	p := model.Params{
+		ProcRate: make([]float64, n),
+		FailRate: make([]float64, n),
+		RecRate:  make([]float64, n),
+	}
+	s := &simState{
+		p:      p,
+		sched:  des.New(),
+		queues: make([]int, n),
+		up:     make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		p.ProcRate[i] = 0.5 + 2*rng.Float64()
+		p.FailRate[i] = 0.01
+		p.RecRate[i] = 0.05
+		s.queues[i] = rng.Intn(50)
+		s.up[i] = rng.Float64() < 0.9
+	}
+	s.live = &liveView{s}
+	s.scoreFn = r.RouteScore(p)
+	s.lidx = newScoreIndex(n)
+	for i := 0; i < n; i++ {
+		s.lidx.set(i, s.scoreFn(i, s.queues[i], s.up[i]))
+	}
+	return s, rng
+}
+
+// benchRouteIndexed measures one routed arrival against the incremental
+// index: the O(1) argmin lookup plus the O(log n) index refresh of the
+// chosen queue — the full hot-path cost the simulator pays per task.
+func benchRouteIndexed(b *testing.B, n int, r policy.IndexedRouter) {
+	s, rng := benchIndexedState(b, n, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node := r.Route(s.live, s.p, rng)
+		s.queues[node]++
+		s.reindex(node)
+	}
+}
+
+// BenchmarkRouteJSQIndexed times index-backed JSQ dispatch; per-op cost
+// must stay flat as N grows 100 -> 10000.
+func BenchmarkRouteJSQIndexed(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(sizeLabel(n), func(b *testing.B) { benchRouteIndexed(b, n, policy.JSQ{}) })
+	}
+}
+
+// BenchmarkRouteLEWIndexed times index-backed full-scan LeastExpectedWork
+// dispatch (D = 0) at the same sizes.
+func BenchmarkRouteLEWIndexed(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(sizeLabel(n), func(b *testing.B) { benchRouteIndexed(b, n, policy.LeastExpectedWork{}) })
+	}
+}
+
+func sizeLabel(n int) string {
+	switch n {
+	case 100:
+		return "N100"
+	case 1000:
+		return "N1000"
+	default:
+		return "N10000"
+	}
+}

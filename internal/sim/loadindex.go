@@ -1,0 +1,90 @@
+package sim
+
+// scoreIndex is the incremental load index behind O(1) routing: an indexed
+// binary min-heap over per-node routing scores, ordered by (score, node)
+// so its argmin reproduces exactly the pick of a linear scan using strict
+// less-than — the shortest queue (for JSQ's queue-length score) or the
+// least expected work (for LEW's), ties to the lowest node index.
+//
+// set is O(log n), min is O(1). The simulator calls set at every queue or
+// up/down mutation — external arrival, completion, transfer departure and
+// arrival, failure, recovery — so a Route call never rescans the cluster.
+// Positions are int32: a heap over two billion nodes would not fit memory
+// long before the index type mattered, and the narrower entries keep the
+// sift paths in cache.
+type scoreIndex struct {
+	score []float64 // score[node] = current routing score
+	heap  []int32   // heap[k] = node at heap position k
+	pos   []int32   // pos[node] = position of node in heap
+}
+
+// newScoreIndex returns an index over n nodes with all scores zero (the
+// caller seeds real scores with set before first use).
+func newScoreIndex(n int) *scoreIndex {
+	x := &scoreIndex{
+		score: make([]float64, n),
+		heap:  make([]int32, n),
+		pos:   make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		x.heap[i] = int32(i)
+		x.pos[i] = int32(i)
+	}
+	return x
+}
+
+// less orders heap entries by (score, node index) — the exact tie-break of
+// a strict less-than scan from node 0 upward.
+func (x *scoreIndex) less(a, b int32) bool {
+	sa, sb := x.score[a], x.score[b]
+	return sa < sb || (sa == sb && a < b)
+}
+
+// set updates node's score and restores the heap order in O(log n).
+func (x *scoreIndex) set(node int, s float64) {
+	if x.score[node] == s {
+		return
+	}
+	x.score[node] = s
+	x.siftUp(int(x.pos[node]))
+	x.siftDown(int(x.pos[node]))
+}
+
+// min returns the node with the smallest (score, index) pair in O(1).
+func (x *scoreIndex) min() int { return int(x.heap[0]) }
+
+func (x *scoreIndex) siftUp(k int) {
+	for k > 0 {
+		parent := (k - 1) / 2
+		if !x.less(x.heap[k], x.heap[parent]) {
+			return
+		}
+		x.swap(k, parent)
+		k = parent
+	}
+}
+
+func (x *scoreIndex) siftDown(k int) {
+	n := len(x.heap)
+	for {
+		l := 2*k + 1
+		if l >= n {
+			return
+		}
+		c := l
+		if r := l + 1; r < n && x.less(x.heap[r], x.heap[l]) {
+			c = r
+		}
+		if !x.less(x.heap[c], x.heap[k]) {
+			return
+		}
+		x.swap(k, c)
+		k = c
+	}
+}
+
+func (x *scoreIndex) swap(a, b int) {
+	x.heap[a], x.heap[b] = x.heap[b], x.heap[a]
+	x.pos[x.heap[a]] = int32(a)
+	x.pos[x.heap[b]] = int32(b)
+}

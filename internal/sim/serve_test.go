@@ -204,8 +204,8 @@ func TestObserverIsZeroCost(t *testing.T) {
 // picks node 1 must leave node 0 with only its initial work.
 type constRouter struct{ node int }
 
-func (c constRouter) Name() string                                     { return "const" }
-func (c constRouter) Route(model.State, model.Params, *xrand.Rand) int { return c.node }
+func (c constRouter) Name() string                                         { return "const" }
+func (c constRouter) Route(model.StateView, model.Params, *xrand.Rand) int { return c.node }
 
 func TestRouterDirectsArrivals(t *testing.T) {
 	p := model.Params{

@@ -22,9 +22,14 @@
 // flight without changing it), per-node process closures are allocated
 // once per run, stale completion timers are cancelled eagerly through
 // des.Handle instead of left to fire as no-ops, and policy snapshots reuse
-// a scratch buffer unless tracing is on. This keeps 1000-node realisations
-// allocation-free per event while staying bit-identical, for a given
-// random stream, with the original per-event-scan implementation.
+// a scratch buffer unless tracing is on. Routers read the system through a
+// zero-copy StateView instead of a copied snapshot, and an indexed router
+// (JSQ, full-scan LeastExpectedWork) gets its argmin from an incremental
+// load index maintained O(log n) at every queue and up/down mutation, so
+// per-task dispatch cost is independent of cluster size. This keeps
+// 1000-node realisations allocation-free per event while staying
+// bit-identical, for a given random stream, with the original
+// per-event-scan implementation.
 package sim
 
 import (
@@ -155,6 +160,13 @@ type Result struct {
 // it must be nil outside single-goroutine tests.
 var accountingHook func(tracked, scanned int)
 
+// indexHook, when non-nil, receives the incremental load index's argmin
+// alongside a fresh O(n) reference scan after every event of a run that
+// maintains an index. Tests install it to prove the O(log n) index stays
+// equivalent to the full rescan across arrivals, completions, transfers,
+// failures and recoveries; it must be nil outside single-goroutine tests.
+var indexHook func(indexed, scanned int)
+
 type simState struct {
 	opt      Options
 	p        model.Params
@@ -179,6 +191,17 @@ type simState struct {
 	// scratch is the reusable policy-snapshot buffer used when Trace is
 	// off; traced runs hand policies fresh copies instead.
 	scratch model.State
+	// live is the zero-copy StateView handed to the routing hot path,
+	// built once per run so Route calls allocate nothing.
+	live model.StateView
+	// ab caches the policy's ArrivalBalancer capability, asserted once per
+	// run instead of once per arrival.
+	ab policy.ArrivalBalancer
+	// lidx and scoreFn exist only when the installed Router registered an
+	// indexable routing score: the index is refreshed at every queue and
+	// up/down mutation, so Route reads its argmin in O(1).
+	lidx    *scoreIndex
+	scoreFn policy.RouteScore
 	// drainTime records the instant the system last became empty; with
 	// external arrivals the final scheduler event may be a post-horizon
 	// arrival tick, so Now() can overshoot the true completion.
@@ -248,6 +271,24 @@ func Run(opt Options) (*Result, error) {
 	for _, q := range s.queues {
 		s.remaining += q
 	}
+	s.live = &liveView{s}
+	if ab, ok := opt.Policy.(policy.ArrivalBalancer); ok {
+		s.ab = ab
+	}
+	// An indexed router turns every Route into an O(1) argmin lookup; the
+	// index is skipped when tracing, where routers receive retainable
+	// snapshots and fall back to the reference scan.
+	if opt.Router != nil && !opt.Trace {
+		if ir, ok := opt.Router.(policy.IndexedRouter); ok {
+			if fn := ir.RouteScore(opt.Params); fn != nil {
+				s.scoreFn = fn
+				s.lidx = newScoreIndex(n)
+				for i := 0; i < n; i++ {
+					s.lidx.set(i, fn(i, s.queues[i], s.up[i]))
+				}
+			}
+		}
+	}
 	if opt.TaskObserver != nil {
 		s.obs = opt.TaskObserver
 		s.taskq = make([]taskQueue, n)
@@ -304,6 +345,58 @@ func Run(opt Options) (*Result, error) {
 	return s.res, nil
 }
 
+// liveView is the zero-copy model.StateView over the running realisation:
+// its accessors read the simulator's working arrays directly, so handing
+// it to a router costs nothing regardless of cluster size. It is valid
+// only for the duration of a callback — the arrays mutate at every event.
+type liveView struct{ s *simState }
+
+// Time implements model.StateView.
+func (v *liveView) Time() float64 { return v.s.sched.Now() }
+
+// N implements model.StateView.
+func (v *liveView) N() int { return len(v.s.queues) }
+
+// Queue implements model.StateView.
+func (v *liveView) Queue(i int) int { return v.s.queues[i] }
+
+// Up implements model.StateView.
+func (v *liveView) Up(i int) bool { return v.s.up[i] }
+
+// InFlight implements model.StateView.
+func (v *liveView) InFlight() int { return v.s.inFlight }
+
+// MinScoreNode implements model.ScoreIndexed: the argmin of the
+// incrementally maintained routing-score index, when one is active.
+func (v *liveView) MinScoreNode() (int, bool) {
+	if v.s.lidx == nil {
+		return -1, false
+	}
+	return v.s.lidx.min(), true
+}
+
+// reindex refreshes node i's entry in the incremental load index after a
+// queue or up/down mutation; a nil-check no-op when no index is active.
+func (s *simState) reindex(i int) {
+	if s.lidx != nil {
+		s.lidx.set(i, s.scoreFn(i, s.queues[i], s.up[i]))
+	}
+}
+
+// scanMinScore recomputes the index argmin the pre-index way: a strict
+// less-than scan over every node. Kept as the reference implementation for
+// the index-vs-scan equivalence test.
+func (s *simState) scanMinScore() int {
+	best := 0
+	bestW := s.scoreFn(0, s.queues[0], s.up[0])
+	for i := 1; i < len(s.queues); i++ {
+		if w := s.scoreFn(i, s.queues[i], s.up[i]); w < bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
 // scanRemaining recomputes the remaining-task total the pre-refactor way:
 // a full queue scan plus the in-flight count. Kept as the reference
 // implementation for the accounting regression test.
@@ -341,6 +434,9 @@ func (s *simState) snapshot() model.State {
 func (s *simState) trace(kind EventKind, node int) {
 	if accountingHook != nil {
 		accountingHook(s.remaining, s.scanRemaining())
+	}
+	if indexHook != nil && s.lidx != nil {
+		indexHook(s.lidx.min(), s.scanMinScore())
 	}
 	if !s.opt.Trace {
 		return
@@ -381,6 +477,7 @@ func (s *simState) complete(i int) {
 		return // unreachable with eager cancellation; kept defensively
 	}
 	s.queues[i]--
+	s.reindex(i)
 	s.res.Processed[i]++
 	s.remaining--
 	if s.remaining == 0 {
@@ -421,6 +518,7 @@ func (s *simState) fail(i int) {
 		return // already down via some other path
 	}
 	s.up[i] = false
+	s.reindex(i)
 	// Cancel the outstanding completion: its in-service task is frozen.
 	s.complTimer[i].Cancel()
 	s.complTimer[i] = des.Handle{}
@@ -446,6 +544,7 @@ func (s *simState) recover(i int) {
 		return
 	}
 	s.up[i] = true
+	s.reindex(i)
 	s.res.Recoveries++
 	if s.obs != nil {
 		s.obs.NodeStateChanged(i, true, s.sched.Now())
@@ -477,6 +576,7 @@ func (s *simState) send(tr model.Transfer) {
 		return
 	}
 	s.queues[tr.From] -= tr.Tasks
+	s.reindex(tr.From)
 	var recs []taskRec
 	if s.obs != nil {
 		recs = s.taskq[tr.From].takeTail(tr.Tasks)
@@ -496,6 +596,7 @@ func (s *simState) send(tr model.Transfer) {
 	s.sched.After(delay, func() {
 		s.inFlight -= tasks
 		s.queues[to] += tasks
+		s.reindex(to)
 		if s.obs != nil {
 			s.taskq[to].recs = append(s.taskq[to].recs, recs...)
 			s.obs.TransferArrived(to, tasks, s.sched.Now())
@@ -554,9 +655,21 @@ func (s *simState) externalArrival() {
 			return
 		}
 	}
+	// Untraced runs hand both the router and the arrival balancer the
+	// zero-copy live view. A traced run builds at most one fresh snapshot
+	// per arrival event: the router sees it pre-arrival, then the copy is
+	// adjusted in place for the balancer (a router may not retain its
+	// view, so the shared copy is safe to touch between the two calls —
+	// the balancer, which may retain it, gets it last).
+	var snap model.State
 	var node int
 	if s.opt.Router != nil {
-		node = s.opt.Router.Route(s.snapshot(), s.p, s.rng)
+		var v model.StateView = s.live
+		if s.opt.Trace {
+			snap = s.snapshot()
+			v = model.SnapshotView{State: snap}
+		}
+		node = s.opt.Router.Route(v, s.p, s.rng)
 		if node < 0 || node >= s.p.N() {
 			panic(fmt.Sprintf("sim: router %s returned invalid node %d", s.opt.Router.Name(), node))
 		}
@@ -568,6 +681,7 @@ func (s *simState) externalArrival() {
 		batch = 1
 	}
 	s.queues[node] += batch
+	s.reindex(node)
 	s.remaining += batch
 	s.res.ExternalArrivals += batch
 	if s.obs != nil {
@@ -581,8 +695,17 @@ func (s *simState) externalArrival() {
 	if s.up[node] && s.queues[node] == batch {
 		s.scheduleCompletion(node)
 	}
-	if ab, ok := s.opt.Policy.(policy.ArrivalBalancer); ok {
-		s.applyTransfers(ab.OnArrival(node, s.snapshot(), s.p))
+	if s.ab != nil {
+		v := s.live // zero-copy: sampling balancers pay O(1) per arrival
+		if s.opt.Trace {
+			if snap.Queues != nil {
+				snap.Queues[node] += batch // roll the arrival into the shared copy
+			} else {
+				snap = s.snapshot()
+			}
+			v = model.SnapshotView{State: snap}
+		}
+		s.applyTransfers(s.ab.OnArrival(node, v, s.p))
 	}
 	s.scheduleArrival()
 }
