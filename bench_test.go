@@ -120,9 +120,9 @@ func BenchmarkSimRealization(b *testing.B) {
 // cost at N=1000 must stay in the same ballpark as at N=100.
 
 // benchScenario times one exact realisation per iteration of a generated
-// scenario under LBP-2.
-func benchScenario(b *testing.B, kind scenario.Kind, n, totalLoad int) {
-	sc, err := scenario.Generate(scenario.Spec{Kind: kind, N: n, TotalLoad: totalLoad, Seed: 1})
+// scenario under LBP-2. mtbf/mttr of 0 keep the scenario defaults.
+func benchScenario(b *testing.B, kind scenario.Kind, n, totalLoad int, mtbf, mttr float64) {
+	sc, err := scenario.Generate(scenario.Spec{Kind: kind, N: n, TotalLoad: totalLoad, Seed: 1, MTBF: mtbf, MTTR: mttr})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -142,11 +142,86 @@ func benchScenario(b *testing.B, kind scenario.Kind, n, totalLoad int) {
 }
 
 // BenchmarkSimN100 times a 100-node, 10⁴-task hotspot realisation.
-func BenchmarkSimN100(b *testing.B) { benchScenario(b, scenario.Hotspot, 100, 10_000) }
+func BenchmarkSimN100(b *testing.B) { benchScenario(b, scenario.Hotspot, 100, 10_000, 0, 0) }
 
 // BenchmarkSimN1000 times a 1000-node, 10⁵-task hotspot realisation —
 // the acceptance bar for the O(1)-accounting event loop.
-func BenchmarkSimN1000(b *testing.B) { benchScenario(b, scenario.Hotspot, 1000, 100_000) }
+func BenchmarkSimN1000(b *testing.B) { benchScenario(b, scenario.Hotspot, 1000, 100_000, 0, 0) }
+
+// --- churn-heavy scale benchmarks ---
+//
+// The same workloads with mean time between failures cut 10x (20 s) and
+// recoveries at 2 s, so failure episodes dominate the policy work. These
+// are the acceptance bar for the O(active-peers) failure path: with the
+// precomputed eq.-(8) plan, per-task cost at N=10⁴ must stay in the same
+// ballpark as at N=10² even though the naive per-failure scan would pay
+// O(n) at tens of thousands of failure instants per realisation.
+
+const churnMTBF, churnMTTR = 20, 2
+
+// BenchmarkSimChurnN100 times a churn-heavy 100-node, 10⁴-task
+// realisation under LBP-2.
+func BenchmarkSimChurnN100(b *testing.B) {
+	benchScenario(b, scenario.Hotspot, 100, 10_000, churnMTBF, churnMTTR)
+}
+
+// BenchmarkSimChurnN1000 scales the churn-heavy realisation to 1000
+// nodes and 10⁵ tasks.
+func BenchmarkSimChurnN1000(b *testing.B) {
+	benchScenario(b, scenario.Hotspot, 1000, 100_000, churnMTBF, churnMTTR)
+}
+
+// BenchmarkSimChurnN10000 is the flagship churn benchmark: 10⁴ nodes,
+// 10⁶ tasks, tens of thousands of failure episodes per realisation.
+func BenchmarkSimChurnN10000(b *testing.B) {
+	benchScenario(b, scenario.Hotspot, 10000, 1_000_000, churnMTBF, churnMTTR)
+}
+
+// scanLBP2 forwards LBP-2's Policy methods while hiding its
+// FailurePlanner capability, forcing the simulator down the naive
+// per-receiver scan at every failure instant — the pre-plan churn path,
+// kept benchmarkable so the before/after failure-episode cost in the
+// README stays reproducible.
+type scanLBP2 struct{ l policy.LBP2 }
+
+func (s scanLBP2) Name() string { return s.l.Name() + ",scan" }
+func (s scanLBP2) Initial(v model.StateView, p model.Params) []model.Transfer {
+	return s.l.Initial(v, p)
+}
+func (s scanLBP2) OnFailure(failed int, v model.StateView, p model.Params) []model.Transfer {
+	return s.l.OnFailure(failed, v, p)
+}
+
+// benchChurnScan is benchScenario with the plan defeated.
+func benchChurnScan(b *testing.B, n, totalLoad int) {
+	sc, err := scenario.Generate(scenario.Spec{
+		Kind: scenario.Hotspot, N: n, TotalLoad: totalLoad, Seed: 1,
+		MTBF: churnMTBF, MTTR: churnMTTR,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := scanLBP2{policy.LBP2{K: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := xrand.NewStream(1, uint64(i))
+		res, err := sim.Run(sc.Options(pol, rng))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CompletionTime <= 0 {
+			b.Fatal("realisation did not run")
+		}
+	}
+	b.ReportMetric(float64(totalLoad), "tasks/op")
+}
+
+// BenchmarkSimChurnScanN100/1000/10000 time the same churn-heavy
+// workloads on the O(n)-scan failure path — the "before" row of the
+// README's failure-episode table.
+func BenchmarkSimChurnScanN100(b *testing.B)   { benchChurnScan(b, 100, 10_000) }
+func BenchmarkSimChurnScanN1000(b *testing.B)  { benchChurnScan(b, 1000, 100_000) }
+func BenchmarkSimChurnScanN10000(b *testing.B) { benchChurnScan(b, 10000, 1_000_000) }
 
 // --- open-system serving benchmarks ---
 //
@@ -157,9 +232,10 @@ func BenchmarkSimN1000(b *testing.B) { benchScenario(b, scenario.Hotspot, 1000, 
 
 // benchServe times one open-system realisation per iteration: a Poisson
 // stream routed by the given dispatcher over a generated hotspot
-// cluster, with LBP-2 failure compensation and full telemetry.
-func benchServe(b *testing.B, n int, rate float64, router RouterSpec) {
-	sc, err := scenario.Generate(scenario.Spec{Kind: scenario.Hotspot, N: n, TotalLoad: 0, Seed: 1})
+// cluster, with LBP-2 failure compensation and full telemetry. mtbf and
+// mttr of 0 keep the scenario's default (mild) churn.
+func benchServe(b *testing.B, n int, rate float64, router RouterSpec, mtbf, mttr float64) {
+	sc, err := scenario.Generate(scenario.Spec{Kind: scenario.Hotspot, N: n, TotalLoad: 0, Seed: 1, MTBF: mtbf, MTTR: mttr})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -192,26 +268,42 @@ func jsqSpec() RouterSpec  { return RouterSpec{Kind: RouterJSQ} }
 
 // BenchmarkServeN100 serves ~10⁴ tasks over a 100-node cluster — the
 // open-system counterpart of BenchmarkSimN100.
-func BenchmarkServeN100(b *testing.B) { benchServe(b, 100, 500, pod2Spec()) }
+func BenchmarkServeN100(b *testing.B) { benchServe(b, 100, 500, pod2Spec(), 0, 0) }
 
 // BenchmarkServeN1000 serves ~10⁵ tasks over a 1000-node cluster — the
 // open-system counterpart of BenchmarkSimN1000 and the acceptance bar
 // for O(1) per-task telemetry.
-func BenchmarkServeN1000(b *testing.B) { benchServe(b, 1000, 5000, pod2Spec()) }
+func BenchmarkServeN1000(b *testing.B) { benchServe(b, 1000, 5000, pod2Spec(), 0, 0) }
 
 // BenchmarkServeN10000 serves ~10⁶ tasks over a 10000-node cluster — the
 // acceptance bar for the O(1) routing hot path: per-task cost (ns/task)
 // must stay within ~2x of BenchmarkServeN100, which requires both the
 // zero-copy state views (no per-arrival snapshot) and O(1) dispatch.
-func BenchmarkServeN10000(b *testing.B) { benchServe(b, 10000, 50000, pod2Spec()) }
+func BenchmarkServeN10000(b *testing.B) { benchServe(b, 10000, 50000, pod2Spec(), 0, 0) }
 
 // BenchmarkServeJSQN100/1000/10000 run the same workloads under full JSQ
 // — the router that scanned every node per arrival before the
 // incremental load index made it O(1). Flat ns/task across this family
 // is the end-to-end proof the index works under churn and transfers.
-func BenchmarkServeJSQN100(b *testing.B)   { benchServe(b, 100, 500, jsqSpec()) }
-func BenchmarkServeJSQN1000(b *testing.B)  { benchServe(b, 1000, 5000, jsqSpec()) }
-func BenchmarkServeJSQN10000(b *testing.B) { benchServe(b, 10000, 50000, jsqSpec()) }
+func BenchmarkServeJSQN100(b *testing.B)   { benchServe(b, 100, 500, jsqSpec(), 0, 0) }
+func BenchmarkServeJSQN1000(b *testing.B)  { benchServe(b, 1000, 5000, jsqSpec(), 0, 0) }
+func BenchmarkServeJSQN10000(b *testing.B) { benchServe(b, 10000, 50000, jsqSpec(), 0, 0) }
+
+// BenchmarkServeChurnN100/1000/10000 are the failure-rate-scaled Serve
+// variants: the same routed open-system workloads with MTBF cut to 20 s
+// and 2 s recoveries, so the run pays orders of magnitude more failure
+// episodes. Together with BenchmarkSimChurnN* they gate the
+// O(active-peers) failure path end to end — ns/task at N=10⁴ must stay
+// in the same ballpark as N=10² despite the churn.
+func BenchmarkServeChurnN100(b *testing.B) {
+	benchServe(b, 100, 500, jsqSpec(), churnMTBF, churnMTTR)
+}
+func BenchmarkServeChurnN1000(b *testing.B) {
+	benchServe(b, 1000, 5000, jsqSpec(), churnMTBF, churnMTTR)
+}
+func BenchmarkServeChurnN10000(b *testing.B) {
+	benchServe(b, 10000, 50000, jsqSpec(), churnMTBF, churnMTTR)
+}
 
 // BenchmarkServeMany16 times the parallel replication fan-out: 16
 // serving replications of the 100-node cluster on the worker pool.

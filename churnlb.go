@@ -15,7 +15,10 @@
 //     transfers at every failure instant);
 //   - an exact Monte-Carlo simulator of the same stochastic model for
 //     arbitrary node counts and policies, with an event loop doing O(1)
-//     work per event so thousand-node clusters stay cheap;
+//     work per event — policies and routers read zero-copy state views,
+//     and LBP-2's eq.-(8) failure transfers come from a precomputed
+//     per-run plan, so neither dispatch nor failure episodes scale with
+//     cluster size;
 //   - a scenario engine (internal/scenario) generating large
 //     heterogeneous clusters — uniform, hotspot, correlated-failure and
 //     flash-crowd — that extend the paper's two-node experiments to

@@ -220,7 +220,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	in := fs.String("in", "", "input file (default stdin)")
 	out := fs.String("out", "", "output file (default stdout)")
 	against := fs.String("against", "", "baseline summary JSON to diff per-op times against ('' disables)")
-	match := fs.String("match", "BenchmarkServe|BenchmarkRoute", "regexp selecting benchmarks for the baseline diff")
+	match := fs.String("match", "BenchmarkServe|BenchmarkRoute|BenchmarkSimChurn", "regexp selecting benchmarks for the baseline diff")
 	maxRatio := fs.Float64("maxratio", 2.0, "fail when current/baseline ns/op exceeds this")
 	minNs := fs.Float64("minns", 1000, "skip baselines faster than this many ns/op (too noisy to gate on)")
 	if err := fs.Parse(args); err != nil {

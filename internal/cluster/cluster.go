@@ -93,7 +93,10 @@ type clusterRun struct {
 	transport Transport
 	ownsTrans bool
 	matrix    *workload.Matrix
-	start     time.Time
+	// fplan, when non-nil, is the policy's precomputed eq.-(8) failure
+	// plan, shared read-only by every node's churn loop.
+	fplan *policy.FailurePlan
+	start time.Time
 
 	total          int64
 	processedTotal int64
@@ -190,9 +193,18 @@ func Run(cfg Config) (*Result, error) {
 	for i := range initState.Up {
 		initState.Up[i] = true
 	}
-	initTransfers := cfg.Policy.Initial(initState, c.p)
+	initTransfers := cfg.Policy.Initial(model.SnapshotView{State: initState}, c.p)
 	for _, nd := range c.nodes {
 		c.execTransfers(nd, initTransfers)
+	}
+	// A failure-planning policy gets eq. (8)'s receiver lists precomputed
+	// once; every node's backup process then serves its failure episodes
+	// from the shared read-only plan instead of assembling an O(n) peer
+	// snapshot at each failure instant. Traced runs keep the per-call
+	// OnFailure path (as in internal/sim) so diagnostic wrappers observe
+	// every episode.
+	if fp, ok := cfg.Policy.(policy.FailurePlanner); ok && !cfg.Trace {
+		c.fplan = fp.FailurePlan(c.p)
 	}
 
 	// Launch the three layers of every CE.
@@ -449,8 +461,17 @@ func (c *clusterRun) churnLoop(nd *node) {
 		c.traceEvent(model.EvFailure, nd.id)
 		c.broadcastState(nd)
 		// The backup process computes and executes the compensating
-		// transfers of eq. (8) at the failure instant.
-		c.execTransfers(nd, c.cfg.Policy.OnFailure(nd.id, c.snapshot(nd), c.p))
+		// transfers of eq. (8) at the failure instant — from the
+		// precomputed plan when the policy planned, otherwise via the
+		// per-call path against the node's local (possibly stale) view.
+		if c.fplan != nil {
+			nd.mu.Lock()
+			queued := len(nd.queue)
+			nd.mu.Unlock()
+			c.execTransfers(nd, c.fplan.Transfers(nil, nd.id, queued))
+		} else {
+			c.execTransfers(nd, c.cfg.Policy.OnFailure(nd.id, model.SnapshotView{State: c.snapshot(nd)}, c.p))
+		}
 
 		if !c.sleepV(nd.rngChurn.Exp(c.p.RecRate[nd.id])) {
 			return

@@ -80,6 +80,31 @@ func (p Params) TotalProcRate() float64 {
 	return s
 }
 
+// Aggregates caches the O(n) reductions over a parameter set that
+// per-event code would otherwise recompute on every call: Σλd and the
+// per-node steady-state availabilities. Both values are produced by the
+// corresponding Params methods (same arithmetic, same index order), so
+// consumers that switch to the cache stay bit-identical with ones that
+// recompute. Rates never change mid-run; build once and share.
+type Aggregates struct {
+	// TotalProcRate is Σλd over all nodes (Params.TotalProcRate).
+	TotalProcRate float64
+	// Availability[i] is λr/(λf+λr) for node i (Params.Availability).
+	Availability []float64
+}
+
+// Aggregates computes the cached reductions for p.
+func (p Params) Aggregates() Aggregates {
+	a := Aggregates{
+		TotalProcRate: p.TotalProcRate(),
+		Availability:  make([]float64, p.N()),
+	}
+	for i := range a.Availability {
+		a.Availability[i] = p.Availability(i)
+	}
+	return a
+}
+
 // Clone deep-copies the parameter set.
 func (p Params) Clone() Params {
 	return Params{
@@ -156,8 +181,8 @@ type State struct {
 	InFlightTasks int
 }
 
-// StateView is a read-only view of the system state handed to the routing
-// hot path. Unlike State it carries no slices of its own: a live view's
+// StateView is a read-only view of the system state handed to routers
+// and policy callbacks. Unlike State it carries no slices of its own: a live view's
 // accessors read the simulator's working arrays directly, so building one
 // costs nothing no matter how many nodes the cluster has. A view (and
 // anything read through it) is only valid for the duration of the call it

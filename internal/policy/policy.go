@@ -10,24 +10,35 @@ package policy
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"churnlb/internal/model"
 )
 
 // Policy decides load transfers. Implementations must be stateless with
-// respect to individual runs (the simulator may invoke them from many
-// replications); all run state arrives through the State snapshot. The
-// snapshot and its slices are only valid for the duration of the call —
-// the simulator reuses the backing buffers between callbacks — so
-// implementations that need to retain it must Clone it first.
+// respect to individual runs (the simulator may invoke one instance from
+// many concurrent replications); all run state arrives through the
+// model.StateView, a zero-copy window onto the realisation's working
+// arrays — handing one to a callback costs nothing no matter how many
+// nodes the cluster has, which is what keeps failure episodes off the
+// O(n)-snapshot path. The view (and anything read through it) is only
+// valid for the duration of the call; implementations that must retain
+// state across calls keep model.AsState(v).Clone(). Traced runs hand
+// policies retainable materialized snapshots instead (model.SnapshotView),
+// so diagnostics may hold on to what they saw.
+//
+// Policies whose on-failure transfer sizes depend only on Params should
+// additionally implement FailurePlanner (see plan.go): the realisation
+// then precomputes eq. (8)'s receiver lists once per run and a failure
+// episode costs O(active receivers) instead of O(n).
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Initial returns the transfers executed at t = 0.
-	Initial(s model.State, p model.Params) []model.Transfer
+	Initial(v model.StateView, p model.Params) []model.Transfer
 	// OnFailure returns the transfers the failing node's backup system
 	// executes at a failure instant.
-	OnFailure(failed int, s model.State, p model.Params) []model.Transfer
+	OnFailure(failed int, v model.StateView, p model.Params) []model.Transfer
 }
 
 // ArrivalBalancer is implemented by policies that additionally rebalance
@@ -51,10 +62,10 @@ type NoBalance struct{}
 func (NoBalance) Name() string { return "none" }
 
 // Initial implements Policy.
-func (NoBalance) Initial(model.State, model.Params) []model.Transfer { return nil }
+func (NoBalance) Initial(model.StateView, model.Params) []model.Transfer { return nil }
 
 // OnFailure implements Policy.
-func (NoBalance) OnFailure(int, model.State, model.Params) []model.Transfer { return nil }
+func (NoBalance) OnFailure(int, model.StateView, model.Params) []model.Transfer { return nil }
 
 // AutoSender selects the sender with the larger initial queue (the
 // optimal choice observed throughout Section 4 of the paper).
@@ -76,7 +87,7 @@ type LBP1 struct {
 func (l LBP1) Name() string { return fmt.Sprintf("LBP-1(K=%.2f)", l.K) }
 
 // Initial implements Policy.
-func (l LBP1) Initial(s model.State, p model.Params) []model.Transfer {
+func (l LBP1) Initial(v model.StateView, p model.Params) []model.Transfer {
 	n := p.N()
 	if n != 2 {
 		// LBP-1 is specified by the paper for two nodes. For larger
@@ -86,14 +97,14 @@ func (l LBP1) Initial(s model.State, p model.Params) []model.Transfer {
 	sender := l.Sender
 	if sender == AutoSender {
 		sender = 0
-		if s.Queues[1] > s.Queues[0] {
+		if v.Queue(1) > v.Queue(0) {
 			sender = 1
 		}
 	}
 	if sender != 0 && sender != 1 {
 		panic(fmt.Sprintf("policy: LBP1 invalid sender %d", sender))
 	}
-	tasks := roundGain(l.K, s.Queues[sender])
+	tasks := roundGain(l.K, v.Queue(sender))
 	if tasks == 0 {
 		return nil
 	}
@@ -101,7 +112,7 @@ func (l LBP1) Initial(s model.State, p model.Params) []model.Transfer {
 }
 
 // OnFailure implements Policy; LBP-1 never reacts to failures.
-func (LBP1) OnFailure(int, model.State, model.Params) []model.Transfer { return nil }
+func (LBP1) OnFailure(int, model.StateView, model.Params) []model.Transfer { return nil }
 
 // LBP1Multi generalises the preemptive idea to N nodes (a documented
 // extension, not part of the paper): the target share of each node is
@@ -117,12 +128,12 @@ type LBP1Multi struct {
 func (l LBP1Multi) Name() string { return fmt.Sprintf("LBP-1-multi(K=%.2f)", l.K) }
 
 // Initial implements Policy.
-func (l LBP1Multi) Initial(s model.State, p model.Params) []model.Transfer {
-	return proportionalRebalance(s, p, l.K, true)
+func (l LBP1Multi) Initial(v model.StateView, p model.Params) []model.Transfer {
+	return proportionalRebalance(v, p, l.K, true)
 }
 
 // OnFailure implements Policy.
-func (LBP1Multi) OnFailure(int, model.State, model.Params) []model.Transfer { return nil }
+func (LBP1Multi) OnFailure(int, model.StateView, model.Params) []model.Transfer { return nil }
 
 // LBP2 is the on-failure policy of Section 2.2: a failure-agnostic initial
 // balance (speed-weighted excess, eqs. 6–7, gain K optimised under the
@@ -153,13 +164,13 @@ func (l LBP2) Name() string {
 
 // ExcessLoad returns eq. (6)'s excess for node j: the positive part of the
 // queue beyond the node's speed-weighted share of the total workload.
-func (l LBP2) ExcessLoad(j int, s model.State, p model.Params) int {
-	total := s.TotalQueued()
+func (l LBP2) ExcessLoad(j int, v model.StateView, p model.Params) int {
+	total := totalQueued(v)
 	share := p.ProcRate[j] / p.TotalProcRate()
 	if l.SpeedBlind {
 		share = 1 / float64(p.N())
 	}
-	excess := float64(s.Queues[j]) - share*float64(total)
+	excess := float64(v.Queue(j)) - share*float64(total)
 	if excess <= 0 {
 		return 0
 	}
@@ -168,7 +179,7 @@ func (l LBP2) ExcessLoad(j int, s model.State, p model.Params) int {
 
 // PartitionFraction returns p_ij of eq. (6): the fraction of node j's
 // excess that is shipped to node i. The fractions over i ≠ j sum to one.
-func (l LBP2) PartitionFraction(i, j int, s model.State, p model.Params) float64 {
+func (l LBP2) PartitionFraction(i, j int, v model.StateView, p model.Params) float64 {
 	n := p.N()
 	if i == j {
 		return 0
@@ -182,13 +193,13 @@ func (l LBP2) PartitionFraction(i, j int, s model.State, p model.Params) float64
 		if k == j {
 			continue
 		}
-		denom += float64(s.Queues[k]) / p.ProcRate[k]
+		denom += float64(v.Queue(k)) / p.ProcRate[k]
 	}
 	if denom == 0 {
 		// Every receiver is empty; split evenly.
 		return 1 / float64(n-1)
 	}
-	return (1 - (float64(s.Queues[i])/p.ProcRate[i])/denom) / float64(n-2)
+	return (1 - (float64(v.Queue(i))/p.ProcRate[i])/denom) / float64(n-2)
 }
 
 // Initial implements Policy: eq. (7), L_ij = K·p_ij·excess_j for every
@@ -197,17 +208,17 @@ func (l LBP2) PartitionFraction(i, j int, s model.State, p model.Params) float64
 // episode O(n·(overloaded nodes)) instead of O(n³) on large clusters;
 // every per-pair expression evaluates in the same order as the exported
 // eq.-level methods, so transfer sizes stay bit-identical to them.
-func (l LBP2) Initial(s model.State, p model.Params) []model.Transfer {
+func (l LBP2) Initial(v model.StateView, p model.Params) []model.Transfer {
 	var out []model.Transfer
 	n := p.N()
-	total := s.TotalQueued()
+	total := totalQueued(v)
 	totalProc := p.TotalProcRate()
 	for j := 0; j < n; j++ {
 		share := p.ProcRate[j] / totalProc
 		if l.SpeedBlind {
 			share = 1 / float64(n)
 		}
-		excessF := float64(s.Queues[j]) - share*float64(total)
+		excessF := float64(v.Queue(j)) - share*float64(total)
 		if excessF <= 0 {
 			continue
 		}
@@ -223,7 +234,7 @@ func (l LBP2) Initial(s model.State, p model.Params) []model.Transfer {
 				if k == j {
 					continue
 				}
-				denom += float64(s.Queues[k]) / p.ProcRate[k]
+				denom += float64(v.Queue(k)) / p.ProcRate[k]
 			}
 		}
 		sent := 0
@@ -239,14 +250,14 @@ func (l LBP2) Initial(s model.State, p model.Params) []model.Transfer {
 				// Every receiver is empty; split evenly.
 				frac = 1 / float64(n-1)
 			default:
-				frac = (1 - (float64(s.Queues[i])/p.ProcRate[i])/denom) / float64(n-2)
+				frac = (1 - (float64(v.Queue(i))/p.ProcRate[i])/denom) / float64(n-2)
 			}
 			tasks := int(math.Round(l.K * frac * float64(excess)))
 			if tasks <= 0 {
 				continue
 			}
-			if sent+tasks > s.Queues[j] {
-				tasks = s.Queues[j] - sent
+			if sent+tasks > v.Queue(j) {
+				tasks = v.Queue(j) - sent
 			}
 			if tasks <= 0 {
 				break
@@ -277,13 +288,14 @@ func (l LBP2) FailureTransferSize(i, j int, p model.Params) int {
 }
 
 // OnFailure implements Policy: the failing node's backup sends LF_ij tasks
-// to every peer, never exceeding what remains queued. Σλd is computed
-// once rather than per receiver (FailureTransferSize recomputes it), so a
-// failure episode is O(n) — this runs at every failure instant of a
-// large-cluster realisation.
-func (l LBP2) OnFailure(failed int, s model.State, p model.Params) []model.Transfer {
+// to every peer, never exceeding what remains queued. This is the O(n)
+// per-receiver reference scan of eq. (8); realisations never pay it per
+// failure — LBP2 implements FailurePlanner, so the simulator precomputes
+// the nonzero receiver lists once per run (plan.go) and the scan survives
+// as the oracle the plan is property-tested against.
+func (l LBP2) OnFailure(failed int, v model.StateView, p model.Params) []model.Transfer {
 	var out []model.Transfer
-	remaining := s.Queues[failed]
+	remaining := v.Queue(failed)
 	if remaining <= 0 || p.RecRate[failed] == 0 {
 		return nil
 	}
@@ -322,30 +334,74 @@ type Dynamic struct {
 func (d Dynamic) Name() string { return "dynamic(" + d.Base.Name() + ")" }
 
 // Initial implements Policy.
-func (d Dynamic) Initial(s model.State, p model.Params) []model.Transfer {
-	return d.Base.Initial(s, p)
+func (d Dynamic) Initial(v model.StateView, p model.Params) []model.Transfer {
+	return d.Base.Initial(v, p)
 }
 
 // OnFailure implements Policy.
-func (d Dynamic) OnFailure(failed int, s model.State, p model.Params) []model.Transfer {
-	return d.Base.OnFailure(failed, s, p)
+func (d Dynamic) OnFailure(failed int, v model.StateView, p model.Params) []model.Transfer {
+	return d.Base.OnFailure(failed, v, p)
+}
+
+// FailurePlan implements FailurePlanner by delegating to the base policy
+// when it plans failures too (Dynamic only changes arrival behaviour);
+// nil otherwise, which sends the realisation down the per-call path.
+func (d Dynamic) FailurePlan(p model.Params) *FailurePlan {
+	if fp, ok := d.Base.(FailurePlanner); ok {
+		return fp.FailurePlan(p)
+	}
+	return nil
 }
 
 // OnArrival implements ArrivalBalancer by replaying the base policy's
-// initial balance against the current state. A balancing episode reads
-// every queue anyway, so materializing the view costs nothing extra
-// asymptotically.
+// initial balance against the current view.
 func (d Dynamic) OnArrival(_ int, v model.StateView, p model.Params) []model.Transfer {
-	return d.Base.Initial(model.AsState(v), p)
+	return d.Base.Initial(v, p)
 }
+
+// totalQueued sums the queue lengths through a view in index order — the
+// StateView counterpart of model.State.TotalQueued, same summation order
+// so totals (and everything derived from them) stay bit-identical.
+func totalQueued(v model.StateView) int {
+	t := 0
+	for i, n := 0, v.N(); i < n; i++ {
+		t += v.Queue(i)
+	}
+	return t
+}
+
+type deficitNode struct {
+	id     int
+	amount float64
+}
+
+// rebalanceScratch holds proportionalRebalance's working arrays. They are
+// pooled rather than kept on the policy because policies must stay
+// stateless — many concurrent replications share one instance — while the
+// rebalance runs on the arrival hot path under Dynamic, where a fresh
+// weights/excesses/deficits allocation per arrival adds up.
+type rebalanceScratch struct {
+	weights  []float64
+	excesses []int
+	deficits []deficitNode
+}
+
+var rebalancePool = sync.Pool{New: func() any { return new(rebalanceScratch) }}
 
 // proportionalRebalance ships gain-scaled excess (relative to weighted
 // shares) from overloaded to underloaded nodes. Weights are effective
 // rates when failureAware, raw rates otherwise.
-func proportionalRebalance(s model.State, p model.Params, k float64, failureAware bool) []model.Transfer {
+func proportionalRebalance(v model.StateView, p model.Params, k float64, failureAware bool) []model.Transfer {
 	n := p.N()
-	total := s.TotalQueued()
-	weights := make([]float64, n)
+	total := totalQueued(v)
+	sc := rebalancePool.Get().(*rebalanceScratch)
+	defer rebalancePool.Put(sc)
+	if cap(sc.weights) < n {
+		sc.weights = make([]float64, n)
+		sc.excesses = make([]int, n)
+	}
+	weights, excesses := sc.weights[:n], sc.excesses[:n]
+	deficits := sc.deficits[:0]
 	var wsum float64
 	for i := 0; i < n; i++ {
 		if failureAware {
@@ -355,22 +411,17 @@ func proportionalRebalance(s model.State, p model.Params, k float64, failureAwar
 		}
 		wsum += weights[i]
 	}
-	type deficitNode struct {
-		id     int
-		amount float64
-	}
-	var surplus []model.Transfer
-	var deficits []deficitNode
-	excesses := make([]int, n)
 	for i := 0; i < n; i++ {
 		target := weights[i] / wsum * float64(total)
-		diff := float64(s.Queues[i]) - target
+		diff := float64(v.Queue(i)) - target
+		excesses[i] = 0
 		if diff >= 1 {
 			excesses[i] = int(math.Floor(k * diff))
 		} else if diff <= -1 {
 			deficits = append(deficits, deficitNode{id: i, amount: -diff})
 		}
 	}
+	sc.deficits = deficits // keep any growth for the next caller
 	var deficitTotal float64
 	for _, d := range deficits {
 		deficitTotal += d.amount
@@ -378,13 +429,14 @@ func proportionalRebalance(s model.State, p model.Params, k float64, failureAwar
 	if deficitTotal == 0 {
 		return nil
 	}
+	var surplus []model.Transfer
 	for j := 0; j < n; j++ {
 		if excesses[j] == 0 {
 			continue
 		}
 		remaining := excesses[j]
-		if remaining > s.Queues[j] {
-			remaining = s.Queues[j]
+		if q := v.Queue(j); remaining > q {
+			remaining = q
 		}
 		for _, d := range deficits {
 			tasks := int(math.Round(float64(excesses[j]) * d.amount / deficitTotal))

@@ -9,12 +9,14 @@ import (
 	"churnlb/internal/xrand"
 )
 
-func upState(queues ...int) model.State {
+// upState wraps an all-up queue vector in the retainable snapshot view —
+// what a traced run would hand a policy callback.
+func upState(queues ...int) model.SnapshotView {
 	up := make([]bool, len(queues))
 	for i := range up {
 		up[i] = true
 	}
-	return model.State{Queues: queues, Up: up}
+	return model.SnapshotView{State: model.State{Queues: queues, Up: up}}
 }
 
 func TestNoBalanceDoesNothing(t *testing.T) {
@@ -287,7 +289,7 @@ func TestDynamicWrapsBase(t *testing.T) {
 	if len(d.Initial(s, p)) != 1 {
 		t.Fatal("dynamic initial should delegate")
 	}
-	if len(d.OnArrival(0, model.SnapshotView{State: s}, p)) != 1 {
+	if len(d.OnArrival(0, s, p)) != 1 {
 		t.Fatal("dynamic arrival should rebalance")
 	}
 	if len(d.OnFailure(1, s, p)) == 0 {

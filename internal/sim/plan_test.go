@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/xrand"
+)
+
+func transfersEqual(a, b []model.Transfer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// churnHeavyParams scales randomParams' failure rates up an order of
+// magnitude and slows recoveries, so realisations spend their events on
+// failure episodes — the path under test — rather than completions.
+func churnHeavyParams(rng *xrand.Rand, n int) (model.Params, []int) {
+	p, load := randomParams(rng, n)
+	for i := 0; i < n; i++ {
+		p.FailRate[i] = 0.2 + 0.8*rng.Float64()
+		p.RecRate[i] = 0.5 + rng.Float64()
+	}
+	return p, load
+}
+
+// TestFailurePlanMatchesPolicyEveryFailure is the in-situ counterpart of
+// the policy package's plan-vs-scan property: replaying whole churn-heavy
+// realisations — completions, transfers, arrivals and recoveries all
+// mutating the queues between failures — the precomputed eq.-(8) plan
+// must produce transfer-for-transfer the episode the installed policy's
+// naive per-receiver scan would have produced at every single failure
+// instant, for every LBP-2 ablation and for the Dynamic wrapper. It
+// mirrors the indexHook test for the load index.
+func TestFailurePlanMatchesPolicyEveryFailure(t *testing.T) {
+	mismatches, episodes := 0, 0
+	failurePlanHook = func(failed int, planned, naive []model.Transfer) {
+		episodes++
+		if !transfersEqual(planned, naive) {
+			mismatches++
+			t.Logf("failed=%d: plan %v, scan %v", failed, planned, naive)
+		}
+	}
+	defer func() { failurePlanHook = nil }()
+
+	f := func(seed uint16, nRaw, polRaw uint8) bool {
+		rng := xrand.NewStream(uint64(seed), 31)
+		n := 2 + int(nRaw)%6
+		p, load := churnHeavyParams(rng, n)
+
+		var pol policy.Policy
+		switch polRaw % 4 {
+		case 0:
+			pol = policy.LBP2{K: 1}
+		case 1:
+			pol = policy.LBP2{K: 1, SpeedBlind: true}
+		case 2:
+			pol = policy.LBP2{K: 1, AvailabilityBlind: true}
+		default:
+			pol = policy.Dynamic{Base: policy.LBP2{K: 1}}
+		}
+		res, err := Run(Options{
+			Params:      p,
+			Policy:      pol,
+			InitialLoad: load,
+			Rand:        rng,
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return res.CompletionTime > 0 && mismatches == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+	if episodes == 0 {
+		t.Fatal("failure-plan hook never fired — no run exercised a planned episode")
+	}
+	if mismatches > 0 {
+		t.Fatalf("plan diverged from the reference scan %d of %d episodes", mismatches, episodes)
+	}
+}
+
+// TestPlannedRunBitIdenticalToTraced proves the end-to-end equivalence on
+// the churn path: a traced run hands the policy retainable snapshots, an
+// untraced run serves failures from the precomputed plan and the live
+// view, and for the same seed both must realise exactly the same process
+// — bit-identical completion times and identical transfer counts.
+func TestPlannedRunBitIdenticalToTraced(t *testing.T) {
+	run := func(trace bool) *Result {
+		rng := xrand.NewStream(23, 9)
+		p, load := churnHeavyParams(rng, 5)
+		res, err := Run(Options{
+			Params:      p,
+			Policy:      policy.LBP2{K: 1},
+			InitialLoad: load,
+			Rand:        rng,
+			Trace:       trace,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	traced, planned := run(true), run(false)
+	if traced.CompletionTime != planned.CompletionTime {
+		t.Errorf("completion diverged: traced %v, planned %v", traced.CompletionTime, planned.CompletionTime)
+	}
+	if traced.TransfersSent != planned.TransfersSent || traced.TasksTransferred != planned.TasksTransferred {
+		t.Errorf("transfers diverged: traced %d/%d, planned %d/%d",
+			traced.TransfersSent, traced.TasksTransferred, planned.TransfersSent, planned.TasksTransferred)
+	}
+	if traced.Failures == 0 {
+		t.Error("realisation saw no failures — churn-heavy params did not churn")
+	}
+}

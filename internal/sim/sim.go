@@ -20,13 +20,17 @@
 // operation: the remaining-task total is maintained incrementally at every
 // completion and external arrival (transfers move tasks between queues and
 // flight without changing it), per-node process closures are allocated
-// once per run, stale completion timers are cancelled eagerly through
-// des.Handle instead of left to fire as no-ops, and policy snapshots reuse
-// a scratch buffer unless tracing is on. Routers read the system through a
-// zero-copy StateView instead of a copied snapshot, and an indexed router
+// once per run, and stale completion timers are cancelled eagerly through
+// des.Handle instead of left to fire as no-ops. Routers and policies read
+// the system through a zero-copy StateView instead of a copied snapshot
+// (traced runs still materialize retainable copies), an indexed router
 // (JSQ, full-scan LeastExpectedWork) gets its argmin from an incremental
-// load index maintained O(log n) at every queue and up/down mutation, so
-// per-task dispatch cost is independent of cluster size. This keeps
+// load index maintained O(log n) at every queue and up/down mutation, and
+// a failure-planning policy (LBP-2) gets eq. (8)'s receiver lists
+// precomputed once per run so a failure episode walks only the receivers
+// with nonzero transfers — O(1) when the plan row is empty — into a
+// reusable transfer buffer. Per-task dispatch and per-failure episode
+// cost are therefore both independent of cluster size. This keeps
 // 1000-node realisations allocation-free per event while staying
 // bit-identical, for a given random stream, with the original
 // per-event-scan implementation.
@@ -167,6 +171,14 @@ var accountingHook func(tracked, scanned int)
 // failures and recoveries; it must be nil outside single-goroutine tests.
 var indexHook func(indexed, scanned int)
 
+// failurePlanHook, when non-nil, receives every failure episode's
+// precomputed plan transfers alongside the naive per-receiver scan the
+// installed policy would have produced for the same instant. Tests
+// install it to prove the plan stays bit-identical to eq. (8)'s
+// reference implementation across whole realisations; it must be nil
+// outside single-goroutine tests.
+var failurePlanHook func(failed int, planned, naive []model.Transfer)
+
 type simState struct {
 	opt      Options
 	p        model.Params
@@ -188,12 +200,15 @@ type simState struct {
 	// once so the event loop schedules without allocating.
 	complFn, failFn, recFn []func()
 	arriveFn               func()
-	// scratch is the reusable policy-snapshot buffer used when Trace is
-	// off; traced runs hand policies fresh copies instead.
-	scratch model.State
-	// live is the zero-copy StateView handed to the routing hot path,
-	// built once per run so Route calls allocate nothing.
+	// live is the zero-copy StateView handed to routers and policy
+	// callbacks, built once per run so neither allocates anything.
 	live model.StateView
+	// fplan, when non-nil, is the installed policy's precomputed eq.-(8)
+	// failure plan: episodes walk only receivers with nonzero transfer
+	// sizes instead of scanning the cluster, appending into the reusable
+	// transferBuf so churn-heavy runs stop allocating per failure.
+	fplan       *policy.FailurePlan
+	transferBuf []model.Transfer
 	// ab caches the policy's ArrivalBalancer capability, asserted once per
 	// run instead of once per arrival.
 	ab policy.ArrivalBalancer
@@ -260,10 +275,6 @@ func Run(opt Options) (*Result, error) {
 		failFn:     make([]func(), n),
 		recFn:      make([]func(), n),
 		res:        &Result{Processed: make([]int, n)},
-		scratch: model.State{
-			Queues: make([]int, n),
-			Up:     make([]bool, n),
-		},
 	}
 	for i := range s.up {
 		s.up[i] = opt.InitialUp == nil || opt.InitialUp[i]
@@ -274,6 +285,15 @@ func Run(opt Options) (*Result, error) {
 	s.live = &liveView{s}
 	if ab, ok := opt.Policy.(policy.ArrivalBalancer); ok {
 		s.ab = ab
+	}
+	// A failure-planning policy gets eq. (8)'s transfer sizes precomputed
+	// once per run (they depend only on Params): failure episodes then
+	// cost O(active receivers) instead of the O(n) per-receiver scan.
+	// Like the load index, the plan is skipped when tracing — traced runs
+	// keep the per-call OnFailure path with retainable snapshots so
+	// diagnostic wrappers observe every episode.
+	if fp, ok := opt.Policy.(policy.FailurePlanner); ok && !opt.Trace {
+		s.fplan = fp.FailurePlan(opt.Params)
 	}
 	// An indexed router turns every Route into an O(1) argmin lookup; the
 	// index is skipped when tracing, where routers receive retainable
@@ -313,7 +333,7 @@ func Run(opt Options) (*Result, error) {
 	s.trace(EvStart, -1)
 
 	// Initial balancing.
-	s.applyTransfers(opt.Policy.Initial(s.snapshot(), s.p))
+	s.applyTransfers(opt.Policy.Initial(s.policyView(), s.p))
 
 	// Arm per-node processes.
 	for i := 0; i < n; i++ {
@@ -412,23 +432,26 @@ func (s *simState) pendingArrivals() bool {
 	return s.arrivalsOpen && s.sched.Now() < s.opt.ArrivalHorizon
 }
 
-// snapshot builds the State handed to policy callbacks. Policies receive
-// the scratch buffer (valid only for the duration of the call); traced
-// runs get fresh copies so diagnostics may retain them.
+// snapshot materializes a retainable State copy — what traced runs hand
+// to routers and policy callbacks so diagnostics may keep what they saw.
+// Untraced runs never snapshot: every callback reads the zero-copy live
+// view, so no path pays an O(n) copy per event.
 func (s *simState) snapshot() model.State {
-	if s.opt.Trace {
-		return model.State{
-			Time:          s.sched.Now(),
-			Queues:        append([]int(nil), s.queues...),
-			Up:            append([]bool(nil), s.up...),
-			InFlightTasks: s.inFlight,
-		}
+	return model.State{
+		Time:          s.sched.Now(),
+		Queues:        append([]int(nil), s.queues...),
+		Up:            append([]bool(nil), s.up...),
+		InFlightTasks: s.inFlight,
 	}
-	s.scratch.Time = s.sched.Now()
-	copy(s.scratch.Queues, s.queues)
-	copy(s.scratch.Up, s.up)
-	s.scratch.InFlightTasks = s.inFlight
-	return s.scratch
+}
+
+// policyView returns the StateView handed to policy callbacks: the
+// zero-copy live view normally, a fresh retainable snapshot when tracing.
+func (s *simState) policyView() model.StateView {
+	if s.opt.Trace {
+		return model.SnapshotView{State: s.snapshot()}
+	}
+	return s.live
 }
 
 func (s *simState) trace(kind EventKind, node int) {
@@ -527,7 +550,17 @@ func (s *simState) fail(i int) {
 		s.obs.NodeStateChanged(i, false, s.sched.Now())
 	}
 	s.trace(EvFailure, i)
-	s.applyTransfers(s.opt.Policy.OnFailure(i, s.snapshot(), s.p))
+	if s.fplan != nil {
+		// O(active receivers): walk the precomputed eq.-(8) row, capping
+		// against the frozen queue, into the reusable episode buffer.
+		s.transferBuf = s.fplan.Transfers(s.transferBuf[:0], i, s.queues[i])
+		if failurePlanHook != nil {
+			failurePlanHook(i, s.transferBuf, s.opt.Policy.OnFailure(i, s.policyView(), s.p))
+		}
+		s.applyTransfers(s.transferBuf)
+	} else {
+		s.applyTransfers(s.opt.Policy.OnFailure(i, s.policyView(), s.p))
+	}
 	s.scheduleRecovery(i)
 }
 
