@@ -10,6 +10,7 @@ package churnlb
 import (
 	"testing"
 
+	"churnlb/internal/des"
 	"churnlb/internal/exp"
 	"churnlb/internal/markov"
 	"churnlb/internal/mc"
@@ -119,9 +120,10 @@ func BenchmarkSimRealization(b *testing.B) {
 // linear in the event count (no O(n)-per-event scans), so the per-task
 // cost at N=1000 must stay in the same ballpark as at N=100.
 
-// benchScenario times one exact realisation per iteration of a generated
-// scenario under LBP-2. mtbf/mttr of 0 keep the scenario defaults.
-func benchScenario(b *testing.B, kind scenario.Kind, n, totalLoad int, mtbf, mttr float64) {
+// benchScenarioQ times one exact realisation per iteration of a generated
+// scenario under LBP-2 on the given event-queue backend, optionally with
+// lazy churn timers. mtbf/mttr of 0 keep the scenario defaults.
+func benchScenarioQ(b *testing.B, kind scenario.Kind, n, totalLoad int, mtbf, mttr float64, queue des.QueueKind, lazy bool) {
 	sc, err := scenario.Generate(scenario.Spec{Kind: kind, N: n, TotalLoad: totalLoad, Seed: 1, MTBF: mtbf, MTTR: mttr})
 	if err != nil {
 		b.Fatal(err)
@@ -130,7 +132,10 @@ func benchScenario(b *testing.B, kind scenario.Kind, n, totalLoad int, mtbf, mtt
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := xrand.NewStream(1, uint64(i))
-		res, err := sim.Run(sc.Options(pol, rng))
+		opt := sc.Options(pol, rng)
+		opt.EventQueue = queue
+		opt.LazyChurn = lazy
+		res, err := sim.Run(opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,6 +144,11 @@ func benchScenario(b *testing.B, kind scenario.Kind, n, totalLoad int, mtbf, mtt
 		}
 	}
 	b.ReportMetric(float64(totalLoad), "tasks/op")
+}
+
+// benchScenario is benchScenarioQ on the default heap backend.
+func benchScenario(b *testing.B, kind scenario.Kind, n, totalLoad int, mtbf, mttr float64) {
+	benchScenarioQ(b, kind, n, totalLoad, mtbf, mttr, des.QueueHeap, false)
 }
 
 // BenchmarkSimN100 times a 100-node, 10⁴-task hotspot realisation.
@@ -175,6 +185,42 @@ func BenchmarkSimChurnN1000(b *testing.B) {
 // 10⁶ tasks, tens of thousands of failure episodes per realisation.
 func BenchmarkSimChurnN10000(b *testing.B) {
 	benchScenario(b, scenario.Hotspot, 10000, 1_000_000, churnMTBF, churnMTTR)
+}
+
+// --- scheduler-backend churn benchmarks ---
+//
+// The same churn-heavy workloads on the calendar-queue scheduler — the
+// des event heap was the last O(log n)-per-event term in the realisation
+// (~2n live churn/completion timers put >90% of a churn-heavy N=10⁴ run
+// in heap sifting), so this family is the acceptance bar for the
+// amortised-O(1) backend: ns/task at N=10⁴ must stay within ~2x of
+// N=10², where the heap family grows ~5-6x. Fixed-seed results are
+// bit-identical to the heap family (golden + differential tests).
+
+// BenchmarkSimChurnWheelN100/1000/10000 run churn-heavy realisations on
+// the calendar queue with eager (exact-stream) churn timers.
+func BenchmarkSimChurnWheelN100(b *testing.B) {
+	benchScenarioQ(b, scenario.Hotspot, 100, 10_000, churnMTBF, churnMTTR, des.QueueCalendar, false)
+}
+func BenchmarkSimChurnWheelN1000(b *testing.B) {
+	benchScenarioQ(b, scenario.Hotspot, 1000, 100_000, churnMTBF, churnMTTR, des.QueueCalendar, false)
+}
+func BenchmarkSimChurnWheelN10000(b *testing.B) {
+	benchScenarioQ(b, scenario.Hotspot, 10000, 1_000_000, churnMTBF, churnMTTR, des.QueueCalendar, false)
+}
+
+// BenchmarkSimChurnWheelLazyN100/1000/10000 add lazy churn timers on top
+// of the calendar queue: idle nodes hold no timers at all and their
+// memoryless up/down processes are realised on demand, so the live-event
+// population tracks the loaded nodes, not the cluster size.
+func BenchmarkSimChurnWheelLazyN100(b *testing.B) {
+	benchScenarioQ(b, scenario.Hotspot, 100, 10_000, churnMTBF, churnMTTR, des.QueueCalendar, true)
+}
+func BenchmarkSimChurnWheelLazyN1000(b *testing.B) {
+	benchScenarioQ(b, scenario.Hotspot, 1000, 100_000, churnMTBF, churnMTTR, des.QueueCalendar, true)
+}
+func BenchmarkSimChurnWheelLazyN10000(b *testing.B) {
+	benchScenarioQ(b, scenario.Hotspot, 10000, 1_000_000, churnMTBF, churnMTTR, des.QueueCalendar, true)
 }
 
 // scanLBP2 forwards LBP-2's Policy methods while hiding its

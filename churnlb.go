@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"churnlb/internal/cluster"
+	"churnlb/internal/des"
 	"churnlb/internal/markov"
 	"churnlb/internal/mc"
 	"churnlb/internal/metrics"
@@ -337,6 +338,51 @@ func (c ChurnLaw) internal() (sim.ChurnLaw, error) {
 	}
 }
 
+// EventQueue selects the simulation kernel's pending-event backend.
+type EventQueue int
+
+// Event-queue backends. Both fire every schedule in the same order, so a
+// realisation is bit-identical — to the float — under either; the choice
+// trades only time and memory (the calendar queue is amortised O(1) per
+// event where the heap pays O(log n) over ~2n live timers).
+const (
+	// QueueHeap is the binary event heap, the default.
+	QueueHeap EventQueue = iota
+	// QueueCalendar is the adaptive calendar queue (timer wheel).
+	QueueCalendar
+)
+
+func (q EventQueue) internal() (des.QueueKind, error) {
+	switch q {
+	case QueueHeap:
+		return des.QueueHeap, nil
+	case QueueCalendar:
+		return des.QueueCalendar, nil
+	default:
+		return 0, fmt.Errorf("churnlb: unknown event queue %d", q)
+	}
+}
+
+// ParseEventQueue converts the CLI spelling of a backend ("heap",
+// "calendar" or its alias "wheel") into an EventQueue. It is the one
+// place the des spellings map to the public enum, so CLIs cannot drift:
+// a backend added to des without a mapping here is an error, never a
+// silent fall-back to the heap.
+func ParseEventQueue(s string) (EventQueue, error) {
+	kind, err := des.ParseQueueKind(s)
+	if err != nil {
+		return 0, err
+	}
+	switch kind {
+	case des.QueueHeap:
+		return QueueHeap, nil
+	case des.QueueCalendar:
+		return QueueCalendar, nil
+	default:
+		return 0, fmt.Errorf("churnlb: des queue kind %v has no public mapping", kind)
+	}
+}
+
 // SimOptions tunes Simulate beyond the defaults.
 type SimOptions struct {
 	// Trace records queue evolution (Fig. 4).
@@ -350,6 +396,17 @@ type SimOptions struct {
 	TransferMode TransferMode
 	// ChurnLaw selects the failure/recovery law (default ChurnExponential).
 	ChurnLaw ChurnLaw
+	// EventQueue selects the simulation kernel's pending-event backend
+	// (default QueueHeap); realisations are bit-identical either way.
+	EventQueue EventQueue
+	// LazyChurn asks the simulator to keep churn timers only for nodes
+	// holding tasks, resolving idle nodes' memoryless up/down processes
+	// on demand. Honoured only when nothing can observe an idle node's
+	// unrealised state (exponential churn, no trace, a planned or
+	// no-balance policy); otherwise the run silently falls back to eager
+	// timers. Lazy runs are statistically — not bit — identical to eager
+	// ones for the same seed.
+	LazyChurn bool
 }
 
 // Simulate runs one exact stochastic realisation of the churn model.
@@ -370,6 +427,10 @@ func Simulate(s System, spec PolicySpec, load []int, seed uint64, opt SimOptions
 	if err != nil {
 		return SimResult{}, err
 	}
+	qk, err := opt.EventQueue.internal()
+	if err != nil {
+		return SimResult{}, err
+	}
 	out, err := sim.Run(sim.Options{
 		Params:         p,
 		Policy:         pol,
@@ -381,6 +442,8 @@ func Simulate(s System, spec PolicySpec, load []int, seed uint64, opt SimOptions
 		ArrivalRate:    opt.ArrivalRate,
 		ArrivalBatch:   opt.ArrivalBatch,
 		ArrivalHorizon: opt.ArrivalHorizon,
+		EventQueue:     qk,
+		LazyChurn:      opt.LazyChurn,
 	})
 	if err != nil {
 		return SimResult{}, err
@@ -432,6 +495,10 @@ func MonteCarloOpts(s System, spec PolicySpec, load []int, reps int, seed uint64
 	if err != nil {
 		return Estimate{}, err
 	}
+	qk, err := opt.EventQueue.internal()
+	if err != nil {
+		return Estimate{}, err
+	}
 	est, err := mc.Run(mc.Options{Reps: reps, Seed: seed}, func(r *xrand.Rand, rep int) (float64, error) {
 		out, err := sim.Run(sim.Options{
 			Params:         p,
@@ -443,6 +510,8 @@ func MonteCarloOpts(s System, spec PolicySpec, load []int, reps int, seed uint64
 			ArrivalRate:    opt.ArrivalRate,
 			ArrivalBatch:   opt.ArrivalBatch,
 			ArrivalHorizon: opt.ArrivalHorizon,
+			EventQueue:     qk,
+			LazyChurn:      opt.LazyChurn,
 		})
 		if err != nil {
 			return 0, err
@@ -602,6 +671,10 @@ type ServeOptions struct {
 	// TransferMode and ChurnLaw select the delay and churn laws.
 	TransferMode TransferMode
 	ChurnLaw     ChurnLaw
+	// EventQueue selects the simulation kernel's pending-event backend
+	// (default QueueHeap); a serving realisation is bit-identical either
+	// way.
+	EventQueue EventQueue
 	// Workers caps the goroutines ServeMany spreads its replications
 	// over; 0 means GOMAXPROCS. The estimate is bit-identical for any
 	// worker count. Ignored by Serve.
@@ -814,6 +887,10 @@ func buildServeOptions(s System, spec PolicySpec, router RouterSpec, seed uint64
 	if err != nil {
 		return serve.Options{}, err
 	}
+	qk, err := opt.EventQueue.internal()
+	if err != nil {
+		return serve.Options{}, err
+	}
 	return serve.Options{
 		Params: p,
 		Policy: pol,
@@ -831,6 +908,7 @@ func buildServeOptions(s System, spec PolicySpec, router RouterSpec, seed uint64
 		Window:        opt.Window,
 		TransferMode:  tm,
 		ChurnLaw:      cl,
+		EventQueue:    qk,
 		Seed:          seed,
 	}, nil
 }

@@ -5,13 +5,18 @@
 // the per-task scaling trend across cluster sizes (the N=100 -> 10000
 // line the routing hot path is judged by); with -against it diffs the
 // parsed results per-op against a checked-in baseline summary and fails
-// on regressions beyond -maxratio.
+// on regressions beyond -maxratio; with -flat it additionally gates the
+// per-task *scaling* of matching families — largest-N ns/task must stay
+// within -flatmax of smallest-N ns/task — so a hot path that quietly
+// becomes O(n) again fails CI even if every absolute number still clears
+// the baseline diff.
 //
 // Usage:
 //
 //	go test -run NONE -bench . -benchtime 1x ./... | tee bench.txt
 //	benchsummary -in bench.txt -out BENCH_smoke.json \
-//	    -against BENCH_baseline.json -match 'BenchmarkServe|BenchmarkRoute'
+//	    -against BENCH_baseline.json -match 'BenchmarkServe|BenchmarkRoute' \
+//	    -flat 'BenchmarkSimChurnWheelLazyN' -flatmax 2
 package main
 
 import (
@@ -120,15 +125,16 @@ func parse(r io.Reader) (Summary, error) {
 // size: "BenchmarkServeN1000" -> ("BenchmarkServeN", 1000, true).
 var sizeSuffix = regexp.MustCompile(`^(.*N)(\d+)$`)
 
-// perTaskTrends renders one line per benchmark family that reports
-// ns/task at several cluster sizes, sizes ascending — a flat line means
-// per-task cost independent of N.
-func perTaskTrends(sum Summary) []string {
-	type point struct {
-		n  int
-		ns float64
-	}
-	families := map[string][]point{}
+// trendPoint is one (cluster size, per-task cost) sample of a family.
+type trendPoint struct {
+	n  int
+	ns float64
+}
+
+// taskFamilies groups benchmarks reporting ns/task by family name
+// ("BenchmarkSimChurnWheelN"), points sorted by ascending cluster size.
+func taskFamilies(sum Summary) map[string][]trendPoint {
+	families := map[string][]trendPoint{}
 	for _, b := range sum.Benchmarks {
 		ns, ok := b.Metrics["ns/task"]
 		if !ok {
@@ -142,24 +148,79 @@ func perTaskTrends(sum Summary) []string {
 		if err != nil {
 			continue
 		}
-		families[m[1]] = append(families[m[1]], point{n: n, ns: ns})
+		families[m[1]] = append(families[m[1]], trendPoint{n: n, ns: ns})
 	}
+	for _, pts := range families {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].n < pts[j].n })
+	}
+	return families
+}
+
+// sortedNames returns the family names in stable order.
+func sortedNames(families map[string][]trendPoint) []string {
 	names := make([]string, 0, len(families))
 	for name := range families {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	return names
+}
+
+// perTaskTrends renders one line per benchmark family that reports
+// ns/task at several cluster sizes, sizes ascending — a flat line means
+// per-task cost independent of N.
+func perTaskTrends(sum Summary) []string {
+	families := taskFamilies(sum)
 	var out []string
-	for _, name := range names {
-		pts := families[name]
-		sort.Slice(pts, func(i, j int) bool { return pts[i].n < pts[j].n })
+	for _, name := range sortedNames(families) {
 		line := name + " per-task:"
-		for _, pt := range pts {
+		for _, pt := range families[name] {
 			line += fmt.Sprintf("  N=%d %.0fns", pt.n, pt.ns)
 		}
 		out = append(out, line)
 	}
 	return out
+}
+
+// flatGate checks the per-task *scaling* of every ns/task family whose
+// name matches re: the largest-N cost may exceed the smallest-N cost by
+// at most maxRatio. This is the CI teeth behind "per-task cost at N=10⁴
+// stays within ~2x of N=10²" — a regression gate against a baseline file
+// only catches absolute slowdowns, not a hot path that quietly became
+// O(n) again while every size slowed in proportion. Only the endpoints
+// are compared: intermediate sizes run different workload compositions
+// (more transfers per task at mid N, for any backend), so their per-task
+// cost is not a scaling signal — a genuine mid-size regression is caught
+// by the -against baseline diff, which gates every size's per-op time
+// individually. A family reduced to fewer than two sizes fails, like the
+// zero-match case: a rename must not silently disable the gate.
+func flatGate(sum Summary, re *regexp.Regexp, maxRatio float64) (lines, failed []string) {
+	families := taskFamilies(sum)
+	for _, name := range sortedNames(families) {
+		if !re.MatchString(name) {
+			continue
+		}
+		pts := families[name]
+		if len(pts) < 2 {
+			lines = append(lines, fmt.Sprintf("%s: only one size (N=%d), scaling cannot be gated", name, pts[0].n))
+			failed = append(failed, name)
+			continue
+		}
+		lo, hi := pts[0], pts[len(pts)-1]
+		ratio := hi.ns / lo.ns
+		status := "ok"
+		if ratio > maxRatio {
+			status = "NOT FLAT"
+			failed = append(failed, name)
+		}
+		lines = append(lines, fmt.Sprintf("%s: N=%d %.0fns -> N=%d %.0fns (%.2fx, max %.1fx) %s",
+			name, lo.n, lo.ns, hi.n, hi.ns, ratio, maxRatio, status))
+	}
+	if len(lines) == 0 {
+		lines = append(lines, fmt.Sprintf("flat gate: no ns/task family matches %q", re))
+		failed = append(failed, "(no family matched -flat)")
+	}
+	return lines, failed
 }
 
 // diffAgainst compares cur's per-op times to base's for benchmarks whose
@@ -223,6 +284,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	match := fs.String("match", "BenchmarkServe|BenchmarkRoute|BenchmarkSimChurn", "regexp selecting benchmarks for the baseline diff")
 	maxRatio := fs.Float64("maxratio", 2.0, "fail when current/baseline ns/op exceeds this")
 	minNs := fs.Float64("minns", 1000, "skip baselines faster than this many ns/op (too noisy to gate on)")
+	flat := fs.String("flat", "", "regexp selecting ns/task families whose largest-N cost must stay within -flatmax of their smallest-N cost ('' disables)")
+	flatMax := fs.Float64("flatmax", 2.0, "fail when a -flat family's largest-N ns/task exceeds this multiple of its smallest-N ns/task")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -257,10 +320,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchsummary:", err)
 		return 1
 	}
-	// The scaling trend and the baseline diff go to stderr, keeping stdout
-	// clean for the JSON document when no -out file is given.
+	// The scaling trend, flat gate and baseline diff go to stderr, keeping
+	// stdout clean for the JSON document when no -out file is given.
 	for _, line := range perTaskTrends(sum) {
 		fmt.Fprintln(stderr, line)
+	}
+	if *flat != "" {
+		re, err := regexp.Compile(*flat)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchsummary: -flat:", err)
+			return 2
+		}
+		lines, failed := flatGate(sum, re, *flatMax)
+		for _, line := range lines {
+			fmt.Fprintln(stderr, line)
+		}
+		if len(failed) > 0 {
+			fmt.Fprintf(stderr, "benchsummary: %d family(ies) exceed %.1fx per-task scaling: %s\n",
+				len(failed), *flatMax, strings.Join(failed, ", "))
+			return 1
+		}
 	}
 	if *against != "" {
 		re, err := regexp.Compile(*match)

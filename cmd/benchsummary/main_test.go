@@ -63,6 +63,72 @@ func TestPerTaskTrends(t *testing.T) {
 	}
 }
 
+func TestFlatGate(t *testing.T) {
+	sum := Summary{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSimChurnWheelLazyN100", Metrics: map[string]float64{"ns/task": 150}},
+		{Name: "BenchmarkSimChurnWheelLazyN1000", Metrics: map[string]float64{"ns/task": 480}},
+		{Name: "BenchmarkSimChurnWheelLazyN10000", Metrics: map[string]float64{"ns/task": 240}},
+		{Name: "BenchmarkSimChurnN100", Metrics: map[string]float64{"ns/task": 220}},
+		{Name: "BenchmarkSimChurnN10000", Metrics: map[string]float64{"ns/task": 1100}},
+		{Name: "BenchmarkLoneN100", Metrics: map[string]float64{"ns/task": 9}},
+	}}
+	// The gate compares smallest N to largest N, not intermediate sizes:
+	// lazy 240/150 = 1.6x passes at 2x even though N=1000 spikes.
+	lines, failed := flatGate(sum, regexp.MustCompile("WheelLazy"), 2.0)
+	if len(failed) != 0 {
+		t.Fatalf("flat family failed the gate: %v\n%s", failed, strings.Join(lines, "\n"))
+	}
+	// The heap churn family at 5x fails a 2x gate.
+	lines, failed = flatGate(sum, regexp.MustCompile("BenchmarkSimChurnN"), 2.0)
+	if len(failed) != 1 || failed[0] != "BenchmarkSimChurnN" {
+		t.Fatalf("failed %v, want [BenchmarkSimChurnN]\n%s", failed, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "NOT FLAT") {
+		t.Fatalf("gate output missing NOT FLAT:\n%s", strings.Join(lines, "\n"))
+	}
+	// A family reduced to a single size fails: a rename or build-tag drop
+	// must not silently disable its scaling gate.
+	lines, failed = flatGate(sum, regexp.MustCompile("BenchmarkLoneN"), 2.0)
+	if len(failed) != 1 || !strings.Contains(lines[0], "cannot be gated") {
+		t.Fatalf("single-size family: failed %v, lines %v", failed, lines)
+	}
+	// A regexp matching nothing must fail loudly, not silently pass: a
+	// renamed family would otherwise lose its scaling gate.
+	_, failed = flatGate(sum, regexp.MustCompile("BenchmarkRenamedAway"), 2.0)
+	if len(failed) == 0 {
+		t.Fatal("empty match passed the flat gate")
+	}
+}
+
+func TestRunFailsOnUnflatScaling(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	const scaling = `goos: linux
+BenchmarkSimChurnWheelN100-8     	       1	   2000000 ns/op	     10000 tasks/op
+BenchmarkSimChurnWheelN10000-8   	       1	 900000000 ns/op	   1000000 tasks/op
+PASS
+`
+	if err := os.WriteFile(in, []byte(scaling), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	// 900/200 = 4.5x per-task growth fails a 2x flat gate...
+	code := run([]string{"-in", in, "-flat", "BenchmarkSimChurnWheelN"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "NOT FLAT") {
+		t.Fatalf("missing NOT FLAT report: %s", stderr.String())
+	}
+	// ...and passes a 5x one.
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-in", in, "-flat", "BenchmarkSimChurnWheelN", "-flatmax", "5"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d with generous flatmax, want 0; stderr: %s", code, stderr.String())
+	}
+}
+
 func TestDiffAgainst(t *testing.T) {
 	cur := Summary{Benchmarks: []Benchmark{
 		{Name: "BenchmarkServeN100", Metrics: map[string]float64{"ns/op": 5_000_000}},

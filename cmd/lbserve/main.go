@@ -10,6 +10,7 @@
 //	lbserve -scenario diurnal -nodes 100 -policy lew -rate 100 -horizon 120
 //	lbserve -scenario correlated -nodes 200 -policy jsq -rate 200 -out results
 //	lbserve -scenario uniform -nodes 500 -policy lew -rate 1000 -reps 20
+//	lbserve -scenario hotspot -nodes 10000 -policy jsq -rate 50000 -queue calendar
 //
 // With -reps > 1 the replications fan out over the Monte-Carlo worker
 // pool (capped by -workers; 0 = all CPUs) and the report shows means ±95%
@@ -85,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		horizon = fs.Float64("horizon", 60, "arrival window, s (the run then drains)")
 		delta   = fs.Float64("delta", 0.02, "mean transfer delay per task, s")
 		window  = fs.Float64("window", 0, "telemetry window, s (0 = horizon/100)")
+		queue   = fs.String("queue", "heap", "event-queue backend: heap, calendar (alias wheel); results are bit-identical either way")
 		seed    = fs.Uint64("seed", 1, "root seed")
 		reps    = fs.Int("reps", 1, "replications; >1 aggregates a parallel Monte-Carlo estimate")
 		workers = fs.Int("workers", 0, "worker goroutines for -reps (0 = GOMAXPROCS)")
@@ -103,6 +105,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	router, pol, err := routerFor(*polStr, *k, *d)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbserve:", err)
+		return 2
+	}
+	eq, err := churnlb.ParseEventQueue(*queue)
 	if err != nil {
 		fmt.Fprintln(stderr, "lbserve:", err)
 		return 2
@@ -126,6 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		InitialLoad: sc.InitialLoad,
 		InitialUp:   sc.InitialUp,
 		Window:      *window,
+		EventQueue:  eq,
 	}
 	if kind == scenario.Diurnal {
 		// The scenario supplies the wave shape when -load generated one;

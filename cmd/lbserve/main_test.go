@@ -22,6 +22,28 @@ func TestBadFlagsRejected(t *testing.T) {
 	if code := run([]string{"-rate", "0"}, &out, &errb); code != 1 {
 		t.Fatalf("zero rate: exit %d, want 1", code)
 	}
+	if code := run([]string{"-queue", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown queue backend: exit %d, want 2", code)
+	}
+}
+
+// TestServeQueueBackendBitIdentical: the full serving report — latency
+// percentiles, throughput, availability, utilization — must be
+// byte-identical on every event-queue backend.
+func TestServeQueueBackendBitIdentical(t *testing.T) {
+	serve := func(backend string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		code := run([]string{"-scenario", "hotspot", "-nodes", "40", "-policy", "jsq",
+			"-rate", "50", "-horizon", "10", "-queue", backend}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("-queue %s: exit %d, stderr: %s", backend, code, errb.String())
+		}
+		return out.String()
+	}
+	if heap, cal := serve("heap"), serve("calendar"); heap != cal {
+		t.Fatalf("backends diverged:\nheap:\n%s\ncalendar:\n%s", heap, cal)
+	}
 }
 
 func TestServeRepsSmoke(t *testing.T) {

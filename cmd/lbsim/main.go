@@ -11,6 +11,7 @@
 //	lbsim -scenario hotspot -nodes 200 -load 20000 -policy lbp2 -reps 200
 //	lbsim -scenario flashcrowd -nodes 1000 -load 100000 -policy lbp1 -reps 1
 //	lbsim -scenario diurnal -nodes 100 -load 20000 -policy dynamic -reps 50
+//	lbsim -scenario hotspot -nodes 10000 -load 1000000 -policy lbp2 -reps 1 -queue calendar -lazychurn
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"os"
 
 	"churnlb"
+	"churnlb/internal/des"
 	"churnlb/internal/mc"
 	"churnlb/internal/policy"
 	"churnlb/internal/scenario"
@@ -46,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace    = fs.Bool("trace", false, "run a single traced realisation instead (two-node mode)")
 		transfer = fs.String("transfer", "bundle", "transfer-delay law: bundle, pertask")
 		churn    = fs.String("churn", "exp", "failure/recovery law: exp, weibull, det")
+		queue    = fs.String("queue", "heap", "event-queue backend: heap, calendar (alias wheel); results are bit-identical either way")
+		lazy     = fs.Bool("lazychurn", false, "keep churn timers only for loaded nodes (statistically, not bit, identical; falls back to eager when the run would observe idle nodes)")
 		scenStr  = fs.String("scenario", "", "large-cluster scenario: uniform, hotspot, correlated, flashcrowd, diurnal")
 		nodes    = fs.Int("nodes", 100, "scenario node count")
 		loadFlag = fs.Int("load", 10000, "scenario total tasks")
@@ -67,9 +71,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "lbsim:", err)
 		return 2
 	}
+	eq, seq, err := parseQueue(*queue)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbsim:", err)
+		return 2
+	}
 
 	if *scenStr != "" {
-		return runScenario(stdout, stderr, *scenStr, *polStr, *nodes, *loadFlag, *reps, *seed, *k, *delta, stm, scl)
+		return runScenario(stdout, stderr, *scenStr, *polStr, *nodes, *loadFlag, *reps, *seed, *k, *delta, stm, scl, seq, *lazy)
 	}
 
 	sys := churnlb.PaperSystem().WithDelay(*delta)
@@ -93,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	load := []int{*m0, *m1}
-	opts := churnlb.SimOptions{TransferMode: tm, ChurnLaw: cl}
+	opts := churnlb.SimOptions{TransferMode: tm, ChurnLaw: cl, EventQueue: eq, LazyChurn: *lazy}
 
 	if *trace {
 		opts.Trace = true
@@ -148,9 +157,22 @@ func parseChurn(s string) (churnlb.ChurnLaw, sim.ChurnLaw, error) {
 	}
 }
 
+// parseQueue maps the -queue spelling to the public and des enums in one
+// call, the same shape as parseTransfer/parseChurn. The public-enum
+// mapping lives in churnlb.ParseEventQueue (exhaustive, errors on an
+// unmapped kind), so the two-node and scenario paths cannot drift.
+func parseQueue(s string) (churnlb.EventQueue, des.QueueKind, error) {
+	eq, err := churnlb.ParseEventQueue(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	kind, err := des.ParseQueueKind(s)
+	return eq, kind, err
+}
+
 // runScenario runs a generated large-cluster scenario: a Monte-Carlo
 // study for reps > 1, a single summarised realisation for reps = 1.
-func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalLoad, reps int, seed uint64, k, delta float64, stm sim.TransferMode, scl sim.ChurnLaw) int {
+func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalLoad, reps int, seed uint64, k, delta float64, stm sim.TransferMode, scl sim.ChurnLaw, seq des.QueueKind, lazy bool) int {
 	kind, err := scenario.ParseKind(scenStr)
 	if err != nil {
 		fmt.Fprintln(stderr, "lbsim:", err)
@@ -185,6 +207,8 @@ func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalL
 		o := sc.Options(pol, r)
 		o.TransferMode = stm
 		o.ChurnLaw = scl
+		o.EventQueue = seq
+		o.LazyChurn = lazy
 		return o
 	}
 

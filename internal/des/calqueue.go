@@ -1,0 +1,189 @@
+package des
+
+// calQueue is an adaptive calendar queue (Brown 1988) — the "timer
+// wheel" EventQueue backend. Each live event hangs off a bucket chosen by
+// its *virtual bucket number* vb = floor(time/width); the bucket array
+// (a power of two) is indexed vb mod nbuckets, so one array slot holds
+// the same phase of every "year" (one sweep of the whole array). A pop
+// scans slots forward from the current scan position, taking the
+// (time, seq)-minimum among the events whose vb equals the slot being
+// scanned; with the bucket count resized to track the live-event count
+// and the width tracking the observed inter-event gap, the scan visits
+// O(1) events on average, which makes push, pop and remove amortised
+// O(1) in the dense-timer regime (a churn-heavy simulation holding ~2n
+// memoryless timers) where the binary heap pays O(log n) sifts.
+//
+// Bit-reproducibility: slot membership is decided purely by the integer
+// vb stored on the event at push (recomputed on resize), never by
+// comparing times against accumulated float bucket boundaries, so there
+// is no rounding drift to disagree with the scan. Because t -> vb is
+// monotone non-decreasing, an event in a later slot can never precede an
+// event in an earlier one, equal times always share a slot, and within a
+// slot the minimum is taken by exact (time, seq) comparison — the pop
+// order is therefore identical to the heap's for any schedule, whatever
+// width or bucket count the queue adapts to. The differential tests in
+// queue_diff_test.go enforce this against the heap oracle.
+type calQueue struct {
+	buckets [][]*event
+	mask    int64   // len(buckets)-1; len is a power of two
+	width   float64 // seconds of simulated time per bucket slot
+	vcur    int64   // scan position: the virtual bucket being drained
+	lastPop float64 // time of the most recently popped event
+	gap     float64 // EWMA of nonzero inter-pop gaps, drives width
+	count   int
+}
+
+// calMinBuckets is the smallest bucket array; shrinks stop here.
+const calMinBuckets = 8
+
+// calMaxVB clamps the virtual bucket number so that extreme time/width
+// ratios cannot overflow int64. The clamp preserves monotonicity (every
+// clamped event lands in the same final slot, where (time, seq) ordering
+// still applies), so reproducibility survives even the pathological case.
+const calMaxVB = int64(1) << 62
+
+func newCalQueue() *calQueue {
+	return &calQueue{
+		buckets: make([][]*event, calMinBuckets),
+		mask:    calMinBuckets - 1,
+		width:   1,
+	}
+}
+
+func (q *calQueue) Len() int { return q.count }
+
+// vbOf maps a time to its virtual bucket under the current width.
+func (q *calQueue) vbOf(t float64) int64 {
+	f := t / q.width
+	if f >= float64(calMaxVB) {
+		return calMaxVB
+	}
+	return int64(f)
+}
+
+func (q *calQueue) Push(e *event) {
+	e.vb = q.vbOf(e.time)
+	b := int(e.vb & q.mask)
+	e.index = len(q.buckets[b])
+	q.buckets[b] = append(q.buckets[b], e)
+	q.count++
+	if q.count > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+func (q *calQueue) Remove(e *event) {
+	b := int(e.vb & q.mask)
+	bk := q.buckets[b]
+	last := len(bk) - 1
+	if e.index != last {
+		bk[e.index] = bk[last]
+		bk[e.index].index = e.index
+	}
+	bk[last] = nil
+	q.buckets[b] = bk[:last]
+	e.index = -1
+	q.count--
+	if len(q.buckets) > calMinBuckets && q.count < len(q.buckets)/4 {
+		q.resize(len(q.buckets) / 2)
+	}
+}
+
+func (q *calQueue) PopMin() *event {
+	if q.count == 0 {
+		return nil
+	}
+	e, vcur := q.findMin()
+	q.vcur = vcur
+	// Fold the inter-pop gap into the width estimate. Zero gaps (ties)
+	// are skipped: ties share a slot at any width, so letting them
+	// collapse the width would only push distinct-time events apart.
+	if d := e.time - q.lastPop; d > 0 {
+		if q.gap == 0 {
+			q.gap = d
+		} else {
+			q.gap += (d - q.gap) / 8
+		}
+	}
+	q.lastPop = e.time
+	q.Remove(e)
+	// Rebucket when the width has drifted an order of magnitude from the
+	// observed event density — a steady-state population never triggers
+	// the count-based resizes, but its width must still track the gap
+	// (e.g. after the initial fill, whose pushes arrive before any pop
+	// has measured a gap). The 8x hysteresis band on a slow EWMA keeps
+	// the O(count) rebuild rare; bucket layout never affects pop order,
+	// only cost.
+	if target := 2 * q.gap; target > 0 && (q.width > 8*target || q.width < target/8) {
+		q.resize(len(q.buckets))
+	}
+	return e
+}
+
+func (q *calQueue) MinTime() (float64, bool) {
+	if q.count == 0 {
+		return 0, false
+	}
+	e, _ := q.findMin()
+	return e.time, true
+}
+
+// findMin locates the next event in (time, seq) order and the scan slot
+// it belongs to, without mutating the queue: PopMin commits the slot (so
+// successive pops resume the sweep where the last one ended), MinTime
+// deliberately does not. Committing on a peek would be unsound — a later
+// push between the peek and the next pop may land behind the advanced
+// position yet ahead of the peeked event, and the sweep would skip it.
+func (q *calQueue) findMin() (*event, int64) {
+	vcur := q.vcur
+	for i := 0; i < len(q.buckets); i++ {
+		var best *event
+		for _, e := range q.buckets[int(vcur&q.mask)] {
+			if e.vb == vcur && (best == nil || eventLess(e, best)) {
+				best = e
+			}
+		}
+		if best != nil {
+			return best, vcur
+		}
+		vcur++
+	}
+	// A whole year swept without a hit: every event is at least one year
+	// beyond the scan position (a sparse tail). Fall back to a direct
+	// search over all live events and jump the scan to the winner.
+	var best *event
+	for _, bk := range q.buckets {
+		for _, e := range bk {
+			if best == nil || eventLess(e, best) {
+				best = e
+			}
+		}
+	}
+	return best, best.vb
+}
+
+// resize rebuilds the bucket array at the new size with a width
+// re-estimated from the observed inter-pop gap, aiming at about one
+// near-head event per slot. Every event's virtual bucket is recomputed
+// under the new width and the scan position rejoins at the last popped
+// time — which bounds every live event's slot from below, since the
+// scheduler never pushes into the past.
+func (q *calQueue) resize(nb int) {
+	w := 2 * q.gap
+	if w <= 0 {
+		w = q.width
+	}
+	old := q.buckets
+	q.buckets = make([][]*event, nb)
+	q.mask = int64(nb) - 1
+	q.width = w
+	q.vcur = q.vbOf(q.lastPop)
+	for _, bk := range old {
+		for _, e := range bk {
+			e.vb = q.vbOf(e.time)
+			b := int(e.vb & q.mask)
+			e.index = len(q.buckets[b])
+			q.buckets[b] = append(q.buckets[b], e)
+		}
+	}
+}

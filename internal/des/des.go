@@ -1,12 +1,15 @@
 // Package des is a small discrete-event simulation kernel: a simulation
-// clock plus a binary event heap with O(log n) scheduling and cancellation.
-// Ties are broken by insertion order, so simulations driven by a
-// deterministic random stream are bit-reproducible.
+// clock plus a pluggable pending-event queue with O(log n) (binary heap)
+// or amortised O(1) (adaptive calendar queue) scheduling and
+// cancellation. Ties are broken by insertion order, and every queue
+// backend realises the exact same (time, seq) pop order, so simulations
+// driven by a deterministic random stream are bit-reproducible — on any
+// backend.
 //
 // Event records are pooled: a fired or cancelled event returns to a
 // per-scheduler free list and is reused by the next At/After call, so a
 // long run allocates a bounded number of records no matter how many events
-// it fires. Cancellation removes the event from the heap immediately
+// it fires. Cancellation removes the event from the queue immediately
 // (releasing its closure), rather than leaving a tombstone to be skipped
 // at pop time — pending-event memory is proportional to live events only.
 package des
@@ -24,16 +27,22 @@ type Handle struct {
 	seq uint64
 }
 
-// event is the pooled heap record behind a Handle.
+// event is the pooled queue record behind a Handle.
 type event struct {
-	time  float64
-	seq   uint64
-	fn    func()
-	index int // position in the heap, -1 once fired or cancelled
+	time float64
+	seq  uint64
+	fn   func()
+	// index is the event's position inside its queue backend — heap slot
+	// for the heap, position within the bucket for the calendar queue —
+	// and -1 once fired or cancelled.
+	index int
+	// vb is the calendar queue's virtual bucket number (floor(time/width)
+	// under the queue's current width); unused by the heap.
+	vb    int64
 	owner *Scheduler
 }
 
-// Cancel prevents the event from firing and removes it from the heap
+// Cancel prevents the event from firing and removes it from the queue
 // immediately. Cancelling a zero, fired or already-cancelled handle is a
 // no-op.
 func (h Handle) Cancel() {
@@ -47,17 +56,24 @@ func (h Handle) Active() bool {
 	return h.e != nil && h.e.index >= 0 && h.e.seq == h.seq
 }
 
-// Scheduler owns the simulation clock and the pending-event heap.
+// Scheduler owns the simulation clock and the pending-event queue.
 type Scheduler struct {
-	now    float64
-	seq    uint64
-	events []*event
-	fired  uint64
-	free   []*event // recycled records, reused by At
+	now   float64
+	seq   uint64
+	q     EventQueue
+	fired uint64
+	free  []*event // recycled records, reused by At
 }
 
-// New returns an empty scheduler at time 0.
-func New() *Scheduler { return &Scheduler{} }
+// New returns an empty scheduler at time 0 on the default (heap) backend.
+func New() *Scheduler { return NewWithQueue(QueueHeap) }
+
+// NewWithQueue returns an empty scheduler at time 0 whose pending events
+// live in the given backend. Every backend fires the same schedule in the
+// same order (see EventQueue); the choice trades only time and memory.
+func NewWithQueue(kind QueueKind) *Scheduler {
+	return &Scheduler{q: newQueue(kind)}
+}
 
 // Now returns the current simulation time.
 func (s *Scheduler) Now() float64 { return s.now }
@@ -66,7 +82,7 @@ func (s *Scheduler) Now() float64 { return s.now }
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Len returns the number of live scheduled events.
-func (s *Scheduler) Len() int { return len(s.events) }
+func (s *Scheduler) Len() int { return s.q.Len() }
 
 // At schedules fn at absolute time t, which must not precede the clock.
 func (s *Scheduler) At(t float64, fn func()) Handle {
@@ -83,7 +99,7 @@ func (s *Scheduler) At(t float64, fn func()) Handle {
 		e = &event{owner: s}
 	}
 	e.time, e.seq, e.fn = t, s.seq, fn
-	s.push(e)
+	s.q.Push(e)
 	return Handle{e: e, seq: e.seq}
 }
 
@@ -98,10 +114,10 @@ func (s *Scheduler) After(d float64, fn func()) Handle {
 // Step fires the next pending event. It returns false when no events
 // remain.
 func (s *Scheduler) Step() bool {
-	if len(s.events) == 0 {
+	e := s.q.PopMin()
+	if e == nil {
 		return false
 	}
-	e := s.pop()
 	s.now = e.time
 	s.fired++
 	fn := e.fn
@@ -122,9 +138,17 @@ func (s *Scheduler) RunUntil(done func() bool) bool {
 }
 
 // Run fires every event with time <= tMax and advances the clock to tMax.
+//
+// The horizon check re-reads the queue minimum after every fired event,
+// so an event that a firing event schedules at or before tMax — including
+// at exactly tMax, even from an event itself firing at tMax — always
+// fires in the same call, never stranded for a later Run. The flip side
+// is the caller's contract (as with RunUntil's predicate): an event chain
+// that keeps rescheduling itself at exactly tMax never terminates.
 func (s *Scheduler) Run(tMax float64) {
-	for len(s.events) > 0 {
-		if s.events[0].time > tMax {
+	for {
+		t, ok := s.q.MinTime()
+		if !ok || t > tMax {
 			break
 		}
 		s.Step()
@@ -134,19 +158,9 @@ func (s *Scheduler) Run(tMax float64) {
 	}
 }
 
-// remove deletes a live event from the heap and recycles its record.
+// remove deletes a live event from the queue and recycles its record.
 func (s *Scheduler) remove(e *event) {
-	i := e.index
-	last := len(s.events) - 1
-	if i != last {
-		s.swap(i, last)
-	}
-	s.events[last] = nil
-	s.events = s.events[:last]
-	if i < last {
-		s.down(i)
-		s.up(i)
-	}
+	s.q.Remove(e)
 	s.recycle(e)
 }
 
@@ -157,69 +171,4 @@ func (s *Scheduler) recycle(e *event) {
 	e.fn = nil
 	e.index = -1
 	s.free = append(s.free, e)
-}
-
-// --- binary heap ordered by (time, seq) ---
-
-func (s *Scheduler) less(i, j int) bool {
-	a, b := s.events[i], s.events[j]
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.seq < b.seq
-}
-
-func (s *Scheduler) swap(i, j int) {
-	s.events[i], s.events[j] = s.events[j], s.events[i]
-	s.events[i].index = i
-	s.events[j].index = j
-}
-
-func (s *Scheduler) push(e *event) {
-	e.index = len(s.events)
-	s.events = append(s.events, e)
-	s.up(e.index)
-}
-
-func (s *Scheduler) pop() *event {
-	e := s.events[0]
-	last := len(s.events) - 1
-	s.swap(0, last)
-	s.events[last] = nil
-	s.events = s.events[:last]
-	if last > 0 {
-		s.down(0)
-	}
-	e.index = -1
-	return e
-}
-
-func (s *Scheduler) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s.swap(i, parent)
-		i = parent
-	}
-}
-
-func (s *Scheduler) down(i int) {
-	n := len(s.events)
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && s.less(l, smallest) {
-			smallest = l
-		}
-		if r < n && s.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		s.swap(i, smallest)
-		i = smallest
-	}
 }

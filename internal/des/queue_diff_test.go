@@ -1,0 +1,264 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"churnlb/internal/xrand"
+)
+
+// The tests in this file enforce the EventQueue contract: every backend
+// fires the exact same schedule in the exact same order. The heap is the
+// oracle; the calendar queue (and any future backend) is replayed against
+// it over randomized programs of At/After/Cancel/Step/Run operations,
+// including same-time ties, events scheduled by firing events, sparse
+// far-future tails (the calendar queue's direct-search path) and
+// cancellations that force bucket compaction and resizes.
+
+// qop is one step of a queue-differential program. Programs are generated
+// once and replayed identically against each backend, so the only way two
+// backends can diverge is by ordering events differently.
+type qop struct {
+	kind      int     // 0 schedule, 1 cancel, 2 step, 3 run-horizon
+	delta     float64 // schedule: offset from the clock at execution time
+	child     float64 // schedule: >= 0 means the event schedules a child at now+child when it fires
+	cancelSel int     // cancel: index into the retained handles (mod len)
+	horizon   float64 // run-horizon: offset from the clock
+}
+
+// genProgram derives a random program from a seed. Deltas mix a quantized
+// grid (forcing exact float ties), dense exponential-like spacing, and
+// rare far-future outliers.
+func genProgram(seed uint64, nOps int) []qop {
+	rng := xrand.NewStream(seed, 0xD1FF)
+	ops := make([]qop, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		o := qop{}
+		switch r := rng.Float64(); {
+		case r < 0.55:
+			o.kind = 0
+			switch d := rng.Float64(); {
+			case d < 0.30: // quantized: exact ties across separate At calls
+				o.delta = float64(rng.Intn(12)) * 0.25
+			case d < 0.92: // dense
+				o.delta = rng.Float64() * 3
+			default: // sparse tail, far beyond the calendar "year"
+				o.delta = 100 + rng.Float64()*10000
+			}
+			if rng.Float64() < 0.3 {
+				o.child = rng.Float64() * 2
+			} else {
+				o.child = -1
+			}
+		case r < 0.70:
+			o.kind = 1
+			o.cancelSel = rng.Intn(1 << 20)
+		case r < 0.95:
+			o.kind = 2
+		default:
+			o.kind = 3
+			o.horizon = rng.Float64() * 4
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// fireRec is one fired event: exact time bits plus the event's program id.
+type fireRec struct {
+	timeBits uint64
+	id       int
+}
+
+// runProgram replays a program on a fresh scheduler of the given backend
+// and returns the full fire log (including the final drain) plus the
+// final clock bits.
+func runProgram(kind QueueKind, ops []qop) ([]fireRec, uint64) {
+	s := NewWithQueue(kind)
+	var fired []fireRec
+	var handles []Handle
+	for i, o := range ops {
+		switch o.kind {
+		case 0:
+			id := i
+			child := o.child
+			handles = append(handles, s.After(o.delta, func() {
+				fired = append(fired, fireRec{math.Float64bits(s.Now()), id})
+				if child >= 0 {
+					cid := 1_000_000 + id
+					s.After(child, func() {
+						fired = append(fired, fireRec{math.Float64bits(s.Now()), cid})
+					})
+				}
+			}))
+		case 1:
+			if len(handles) > 0 {
+				handles[o.cancelSel%len(handles)].Cancel()
+			}
+		case 2:
+			s.Step()
+		case 3:
+			s.Run(s.Now() + o.horizon)
+		}
+	}
+	for s.Step() {
+	}
+	return fired, math.Float64bits(s.Now())
+}
+
+// assertSameOrder replays ops on the heap oracle and on every other
+// backend and fails on the first divergence.
+func assertSameOrder(t *testing.T, ops []qop) bool {
+	t.Helper()
+	ref, refNow := runProgram(QueueHeap, ops)
+	for _, kind := range QueueKinds() {
+		if kind == QueueHeap {
+			continue
+		}
+		got, gotNow := runProgram(kind, ops)
+		if len(got) != len(ref) {
+			t.Errorf("%v fired %d events, heap fired %d", kind, len(got), len(ref))
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("%v diverged at fire %d: got id=%d t=%x, heap id=%d t=%x",
+					kind, i, got[i].id, got[i].timeBits, ref[i].id, ref[i].timeBits)
+				return false
+			}
+		}
+		if gotNow != refNow {
+			t.Errorf("%v final clock bits %x, heap %x", kind, gotNow, refNow)
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueueDifferentialQuick replays many randomized programs; any
+// ordering disagreement between backends fails.
+func TestQueueDifferentialQuick(t *testing.T) {
+	f := func(seed uint16) bool {
+		return assertSameOrder(t, genProgram(uint64(seed), 300+int(seed)%200))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzQueueOrder is the native fuzz entry over raw bytes: each byte pair
+// becomes one operation, so the fuzzer can minimize a diverging program.
+// `go test` runs the seed corpus; `go test -fuzz FuzzQueueOrder` explores.
+func FuzzQueueOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 0, 0, 0, 40, 1, 80, 2, 200, 3})
+	f.Add([]byte{10, 255, 10, 255, 10, 0, 60, 60, 60, 60, 90, 5, 130, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		var ops []qop
+		for i := 0; i+1 < len(data); i += 2 {
+			a, b := data[i], data[i+1]
+			o := qop{}
+			switch a % 5 {
+			case 0, 1: // dense schedule; b quantizes so ties arise
+				o.kind = 0
+				o.delta = float64(b%32) * 0.125
+				o.child = -1
+				if b >= 128 {
+					o.child = float64(b%16) * 0.25
+				}
+			case 2: // sparse schedule
+				o.kind = 0
+				o.delta = 50 + float64(b)*37.5
+				o.child = -1
+			case 3:
+				o.kind = 1
+				o.cancelSel = int(b)
+			default:
+				if b < 200 {
+					o.kind = 2
+				} else {
+					o.kind = 3
+					o.horizon = float64(b%8) * 0.5
+				}
+			}
+			ops = append(ops, o)
+		}
+		assertSameOrder(t, ops)
+	})
+}
+
+// TestQueueDifferentialChurnRealisation replays a whole churn-heavy
+// "realisation" at the des level — n nodes alternating memoryless up/down
+// timers plus completion-style timers that cancel and rearm — and demands
+// identical fire order across backends. This is the dense-timer workload
+// the calendar queue exists for.
+func TestQueueDifferentialChurnRealisation(t *testing.T) {
+	const (
+		nodes     = 300
+		maxFires  = 60_000
+		mtbf      = 20.0
+		mttr      = 2.0
+		svcMean   = 0.5
+		reschedPr = 0.9
+	)
+	run := func(kind QueueKind) ([]fireRec, uint64) {
+		s := NewWithQueue(kind)
+		rng := xrand.NewStream(99, 4242)
+		var fired []fireRec
+		svc := make([]Handle, nodes)
+		var fail, recov func(i int) func()
+		var serve func(i int) func()
+		serve = func(i int) func() {
+			return func() {
+				fired = append(fired, fireRec{math.Float64bits(s.Now()), i})
+				if rng.Float64() < reschedPr {
+					svc[i] = s.After(rng.ExpMean(svcMean), serve(i))
+				}
+			}
+		}
+		fail = func(i int) func() {
+			return func() {
+				fired = append(fired, fireRec{math.Float64bits(s.Now()), nodes + i})
+				// A failure cancels the node's service timer (stale-handle
+				// exercise) and arms recovery.
+				svc[i].Cancel()
+				s.After(rng.ExpMean(mttr), recov(i))
+			}
+		}
+		recov = func(i int) func() {
+			return func() {
+				fired = append(fired, fireRec{math.Float64bits(s.Now()), 2*nodes + i})
+				svc[i] = s.After(rng.ExpMean(svcMean), serve(i))
+				s.After(rng.ExpMean(mtbf), fail(i))
+			}
+		}
+		for i := 0; i < nodes; i++ {
+			svc[i] = s.After(rng.ExpMean(svcMean), serve(i))
+			s.After(rng.ExpMean(mtbf), fail(i))
+		}
+		for len(fired) < maxFires && s.Step() {
+		}
+		return fired, math.Float64bits(s.Now())
+	}
+	ref, refNow := run(QueueHeap)
+	for _, kind := range QueueKinds() {
+		if kind == QueueHeap {
+			continue
+		}
+		got, gotNow := run(kind)
+		if len(got) != len(ref) || gotNow != refNow {
+			t.Fatalf("%v: %d fires, clock %x; heap: %d fires, clock %x",
+				kind, len(got), gotNow, len(ref), refNow)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%v diverged at fire %d: got (%x,%d), heap (%x,%d)",
+					kind, i, got[i].timeBits, got[i].id, ref[i].timeBits, ref[i].id)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ package serve
 import (
 	"fmt"
 
+	"churnlb/internal/des"
 	"churnlb/internal/mc"
 	"churnlb/internal/metrics"
 	"churnlb/internal/model"
@@ -43,6 +44,13 @@ type Options struct {
 	// TransferMode and ChurnLaw select the delay and churn laws.
 	TransferMode sim.TransferMode
 	ChurnLaw     sim.ChurnLaw
+	// EventQueue selects the des scheduler backend (binary heap or
+	// calendar queue); a serving realisation is bit-identical either way.
+	// (sim.Options.LazyChurn is deliberately not plumbed here: a serving
+	// run installs the telemetry TaskObserver, which must see every
+	// node-state change in time order, so the simulator's safety gate
+	// would always fall back to eager churn timers anyway.)
+	EventQueue des.QueueKind
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -96,6 +104,7 @@ func Run(opt Options) (*Result, error) {
 		ArrivalWave:    sim.Wave{Amplitude: opt.WaveAmplitude, Period: opt.WavePeriod},
 		Router:         router,
 		TaskObserver:   col,
+		EventQueue:     opt.EventQueue,
 	})
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"churnlb/internal/des"
 	"churnlb/internal/model"
 	"churnlb/internal/policy"
 	"churnlb/internal/xrand"
@@ -150,36 +151,44 @@ func traceHash(tr []TracePoint) uint64 {
 	return h
 }
 
+// Every golden case is pinned on every des queue backend: the scheduler
+// backend may only change the cost of a realisation, never a single bit
+// of it.
 func TestGoldenBitIdentical(t *testing.T) {
 	for _, c := range goldenCases() {
-		t.Run(c.name, func(t *testing.T) {
-			res, err := Run(c.opt())
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got := math.Float64bits(res.CompletionTime); got != c.completionBits {
-				t.Errorf("CompletionTime %x (bits %#x), want bits %#x",
-					res.CompletionTime, got, c.completionBits)
-			}
-			if res.Failures != c.failures || res.Recoveries != c.recoveries {
-				t.Errorf("churn (%d,%d), want (%d,%d)", res.Failures, res.Recoveries, c.failures, c.recoveries)
-			}
-			if res.TransfersSent != c.transfersSent || res.TasksTransferred != c.tasksTransferred {
-				t.Errorf("transfers (%d,%d), want (%d,%d)",
-					res.TransfersSent, res.TasksTransferred, c.transfersSent, c.tasksTransferred)
-			}
-			for i, want := range c.processed {
-				if res.Processed[i] != want {
-					t.Errorf("Processed[%d] = %d, want %d", i, res.Processed[i], want)
+		for _, qk := range des.QueueKinds() {
+			c, qk := c, qk
+			t.Run(c.name+"/"+qk.String(), func(t *testing.T) {
+				opt := c.opt()
+				opt.EventQueue = qk
+				res, err := Run(opt)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-			if len(res.Trace) != c.traceLen {
-				t.Errorf("trace length %d, want %d", len(res.Trace), c.traceLen)
-			}
-			if got := traceHash(res.Trace); got != c.traceFNV {
-				t.Errorf("trace hash %#x, want %#x", got, c.traceFNV)
-			}
-		})
+				if got := math.Float64bits(res.CompletionTime); got != c.completionBits {
+					t.Errorf("CompletionTime %x (bits %#x), want bits %#x",
+						res.CompletionTime, got, c.completionBits)
+				}
+				if res.Failures != c.failures || res.Recoveries != c.recoveries {
+					t.Errorf("churn (%d,%d), want (%d,%d)", res.Failures, res.Recoveries, c.failures, c.recoveries)
+				}
+				if res.TransfersSent != c.transfersSent || res.TasksTransferred != c.tasksTransferred {
+					t.Errorf("transfers (%d,%d), want (%d,%d)",
+						res.TransfersSent, res.TasksTransferred, c.transfersSent, c.tasksTransferred)
+				}
+				for i, want := range c.processed {
+					if res.Processed[i] != want {
+						t.Errorf("Processed[%d] = %d, want %d", i, res.Processed[i], want)
+					}
+				}
+				if len(res.Trace) != c.traceLen {
+					t.Errorf("trace length %d, want %d", len(res.Trace), c.traceLen)
+				}
+				if got := traceHash(res.Trace); got != c.traceFNV {
+					t.Errorf("trace hash %#x, want %#x", got, c.traceFNV)
+				}
+			})
+		}
 	}
 }
 

@@ -78,7 +78,13 @@ func TestFailurePlanMatchesPolicyEveryFailure(t *testing.T) {
 			t.Log(err)
 			return false
 		}
-		return res.CompletionTime > 0 && mismatches == 0
+		// An unlucky draw can roll an all-zero initial load; that
+		// realisation legitimately completes at t = 0.
+		total := 0
+		for _, q := range load {
+			total += q
+		}
+		return (total == 0 || res.CompletionTime > 0) && mismatches == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"churnlb/internal/des"
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/xrand"
+)
+
+// resultBits flattens a Result into comparable words: exact float bits
+// for the completion time, every counter, every per-node total, and the
+// trace hash. Two runs are "bit-identical" iff these match.
+func resultBits(r *Result) []uint64 {
+	out := []uint64{
+		math.Float64bits(r.CompletionTime),
+		uint64(r.Failures), uint64(r.Recoveries),
+		uint64(r.TransfersSent), uint64(r.TasksTransferred),
+		uint64(r.ExternalArrivals),
+		traceHash(r.Trace), uint64(len(r.Trace)),
+	}
+	for _, p := range r.Processed {
+		out = append(out, uint64(p))
+	}
+	return out
+}
+
+func sameResult(a, b *Result) bool {
+	ab, bb := resultBits(a), resultBits(b)
+	if len(ab) != len(bb) {
+		return false
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// churnHeavyOptions builds one churn-heavy realisation: a hotspot-like
+// initial load over n heterogeneous nodes with MTBF 20 s / MTTR 2 s, the
+// regime where ~2n live timers dominate the scheduler.
+func churnHeavyOptions(n, load int, pol policy.Policy, seed uint64) Options {
+	gen := xrand.NewStream(seed, 0xC4A2)
+	p := model.Params{
+		ProcRate:     make([]float64, n),
+		FailRate:     make([]float64, n),
+		RecRate:      make([]float64, n),
+		DelayPerTask: 0.02,
+	}
+	init := make([]int, n)
+	for i := 0; i < n; i++ {
+		p.ProcRate[i] = 0.8 + 1.4*gen.Float64()
+		p.FailRate[i] = 1 / 20.0 * (0.5 + gen.Float64())
+		p.RecRate[i] = 1 / 2.0 * (0.5 + gen.Float64())
+	}
+	// Load the first tenth of the nodes; the rest start idle (and stay
+	// intermittently idle), so lazy churn has something to skip.
+	hot := n / 10
+	if hot < 1 {
+		hot = 1
+	}
+	for i := 0; i < load; i++ {
+		init[i%hot]++
+	}
+	return Options{Params: p, Policy: pol, InitialLoad: init, Rand: xrand.NewStream(seed, 1)}
+}
+
+// TestBackendDifferentialChurnRealisation runs whole churn-heavy
+// realisations — LBP-2 with its failure plan, plus a routed open-system
+// variant — side by side on the heap and the calendar queue and demands
+// bit-identical Results. This is the sim-level half of the EventQueue
+// reproducibility contract (the des-level half replays raw schedules).
+func TestBackendDifferentialChurnRealisation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  func(seed uint64) Options
+	}{
+		{"lbp2-closed", func(seed uint64) Options {
+			return churnHeavyOptions(150, 3000, policy.LBP2{K: 1}, seed)
+		}},
+		{"lbp2-traced", func(seed uint64) Options {
+			o := churnHeavyOptions(60, 600, policy.LBP2{K: 1}, seed)
+			o.Trace = true
+			return o
+		}},
+		{"jsq-routed", func(seed uint64) Options {
+			o := churnHeavyOptions(100, 500, policy.LBP2{K: 1}, seed)
+			o.Router = policy.JSQ{}
+			o.ArrivalRate, o.ArrivalBatch, o.ArrivalHorizon = 100, 2, 10
+			return o
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				base := c.opt(seed)
+				base.EventQueue = des.QueueHeap
+				ref, err := Run(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				alt := c.opt(seed)
+				alt.EventQueue = des.QueueCalendar
+				got, err := Run(alt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameResult(ref, got) {
+					t.Fatalf("seed %d: calendar-queue realisation diverged from heap:\nheap:     %+v\ncalendar: %+v",
+						seed, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestEventQueueValidated: an out-of-range backend is an error, not a
+// panic inside des.
+func TestEventQueueValidated(t *testing.T) {
+	opt := churnHeavyOptions(4, 20, policy.NoBalance{}, 1)
+	opt.EventQueue = des.QueueKind(97)
+	if _, err := Run(opt); err == nil {
+		t.Fatal("invalid EventQueue kind accepted")
+	}
+}
+
+// TestLazyChurnFallsBackWhenObservable: when the lazy request cannot be
+// honoured (trace on, non-memoryless churn, observing router), the run
+// must be bit-identical to an eager run — the flag silently degrades,
+// never changes semantics.
+func TestLazyChurnFallsBackWhenObservable(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"traced", func(o *Options) { o.Trace = true }},
+		{"weibull", func(o *Options) { o.ChurnLaw = ChurnWeibull }},
+		{"deterministic", func(o *Options) { o.ChurnLaw = ChurnDeterministic }},
+		{"routed", func(o *Options) {
+			o.Router = policy.JSQ{}
+			o.ArrivalRate, o.ArrivalHorizon = 20, 5
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			eager := churnHeavyOptions(40, 400, policy.LBP2{K: 1}, 7)
+			c.mod(&eager)
+			ref, err := Run(eager)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy := churnHeavyOptions(40, 400, policy.LBP2{K: 1}, 7)
+			c.mod(&lazy)
+			lazy.LazyChurn = true
+			got, err := Run(lazy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResult(ref, got) {
+				t.Fatalf("lazy fallback diverged from eager run")
+			}
+		})
+	}
+}
+
+// TestLazyChurnEngages: on an eligible run the lazy path must actually
+// detach idle nodes — observable as a different (but still deterministic)
+// consumption of the random stream. A run where this test fails is a run
+// where the gate silently stopped granting laziness.
+func TestLazyChurnEngages(t *testing.T) {
+	eager := churnHeavyOptions(50, 300, policy.LBP2{K: 1}, 11)
+	ref, err := Run(eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := churnHeavyOptions(50, 300, policy.LBP2{K: 1}, 11)
+	lazy.LazyChurn = true
+	got, err := Run(lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(ref.CompletionTime) == math.Float64bits(got.CompletionTime) {
+		t.Fatal("lazy run consumed the stream exactly like the eager run; is the gate granting laziness?")
+	}
+	// And it must be deterministic: same options, same bits.
+	again, err := Run(func() Options {
+		o := churnHeavyOptions(50, 300, policy.LBP2{K: 1}, 11)
+		o.LazyChurn = true
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(got, again) {
+		t.Fatal("lazy run is not deterministic for a fixed seed")
+	}
+}
+
+// TestLazyChurnConservation: lazy realisations across random systems,
+// policies with failure plans, transfer modes, arrivals and both queue
+// backends conserve tasks exactly and complete.
+func TestLazyChurnConservation(t *testing.T) {
+	f := func(seed uint16, nRaw uint8, calRaw bool) bool {
+		rng := xrand.NewStream(uint64(seed), 31)
+		n := 3 + int(nRaw)%8
+		p := model.Params{
+			ProcRate:     make([]float64, n),
+			FailRate:     make([]float64, n),
+			RecRate:      make([]float64, n),
+			DelayPerTask: 0.05,
+		}
+		load := make([]int, n)
+		for i := 0; i < n; i++ {
+			p.ProcRate[i] = 0.5 + 2*rng.Float64()
+			p.FailRate[i] = 0.2 * rng.Float64()
+			p.RecRate[i] = 0.3 + 0.4*rng.Float64()
+			if rng.Float64() < 0.5 { // many nodes start idle
+				load[i] = rng.Intn(30)
+			}
+		}
+		opt := Options{
+			Params:      p,
+			Policy:      policy.LBP2{K: 1},
+			InitialLoad: load,
+			Rand:        rng,
+			LazyChurn:   true,
+		}
+		if calRaw {
+			opt.EventQueue = des.QueueCalendar
+		}
+		if seed%3 == 0 {
+			opt.ArrivalRate, opt.ArrivalBatch, opt.ArrivalHorizon = 0.5, 2, 15
+		}
+		res, err := Run(opt)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range res.Processed {
+			total += c
+		}
+		want := res.ExternalArrivals
+		for _, q := range load {
+			want += q
+		}
+		return total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyChurnDistributionMatchesEager: lazy and eager runs realise the
+// same stochastic process, so their completion-time and churn-counter
+// means must agree statistically. Both arms use disjoint replication
+// streams; the tolerance is five standard errors of the difference
+// (~1e-6 false-failure odds), against means that would shift by many
+// sigmas if lazy resolution mis-realised the churn law.
+func TestLazyChurnDistributionMatchesEager(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical comparison")
+	}
+	const reps = 250
+	run := func(lazy bool, rep int) *Result {
+		o := churnHeavyOptions(16, 400, policy.LBP2{K: 1}, 1000+uint64(rep))
+		o.LazyChurn = lazy
+		if lazy {
+			o.EventQueue = des.QueueCalendar // cross lazy with the wheel
+			o.Rand = xrand.NewStream(9000+uint64(rep), 1)
+		}
+		res, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	var sumE, sumL, sqE, sqL float64
+	var failE, failL float64
+	for rep := 0; rep < reps; rep++ {
+		e := run(false, rep)
+		l := run(true, rep)
+		sumE += e.CompletionTime
+		sumL += l.CompletionTime
+		sqE += e.CompletionTime * e.CompletionTime
+		sqL += l.CompletionTime * l.CompletionTime
+		failE += float64(e.Failures)
+		failL += float64(l.Failures)
+	}
+	meanE, meanL := sumE/reps, sumL/reps
+	varE := sqE/reps - meanE*meanE
+	varL := sqL/reps - meanL*meanL
+	se := math.Sqrt(varE/reps + varL/reps)
+	if diff := math.Abs(meanE - meanL); diff > 5*se {
+		t.Fatalf("lazy completion-time mean %v vs eager %v: |diff| %v > 5·SE %v", meanL, meanE, diff, 5*se)
+	}
+	// Failure counts grow with the run length; compare per-second rates
+	// so the comparison is about the churn law, not run length noise.
+	rateE, rateL := failE/sumE, failL/sumL
+	if rel := math.Abs(rateE-rateL) / rateE; rel > 0.05 {
+		t.Fatalf("lazy failure rate %v/s vs eager %v/s: relative gap %v > 5%%", rateL, rateE, rel)
+	}
+}

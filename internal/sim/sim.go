@@ -133,6 +133,26 @@ type Options struct {
 	// TaskObserver, when non-nil, receives per-task lifecycle events and
 	// state changes (see observer.go). nil costs nothing on the hot path.
 	TaskObserver TaskObserver
+	// EventQueue selects the des scheduler's pending-event backend. The
+	// default des.QueueHeap is the reference binary heap; des.QueueCalendar
+	// is the amortised-O(1) calendar queue. Every backend fires the same
+	// schedule in the same order, so a realisation is bit-identical — to
+	// the float — under either choice (the des differential tests and the
+	// golden tests both pin this).
+	EventQueue des.QueueKind
+	// LazyChurn, when true, asks the simulator to keep churn timers only
+	// for nodes that hold tasks, exploiting the memoryless exponential
+	// churn law: an idle node's up/down process is left unrealised and
+	// resolved on demand (transition by transition, at full fidelity) when
+	// the node next receives work, instead of occupying ~2 live timers per
+	// node for the whole run. This changes the order in which the random
+	// stream is consumed, so lazy realisations are statistically — not
+	// bit — identical to eager ones. The request is honoured only when
+	// nothing can observe an idle node's unrealised state: exponential
+	// churn, no Trace, no TaskObserver, no Router, and a policy whose
+	// failure episodes come from a precomputed FailurePlan (or NoBalance);
+	// otherwise the simulator silently falls back to eager timers.
+	LazyChurn bool
 }
 
 // Wave describes a sinusoidal arrival-rate modulation (diurnal pattern).
@@ -196,6 +216,14 @@ type simState struct {
 	// timers are cancelled eagerly (failure, queue shipped away) instead of
 	// firing as epoch-checked no-ops.
 	complTimer []des.Handle
+	// lazy marks a run with lazy churn timers (Options.LazyChurn granted).
+	// churnTimer then holds each node's pending churn timer (failure while
+	// up, recovery while down) so it can be cancelled when the node goes
+	// idle, and lazyFrom the time up to which an idle node's churn process
+	// has been realised; lazyTouch resolves the gap on demand.
+	lazy       bool
+	churnTimer []des.Handle
+	lazyFrom   []float64
 	// complFn/failFn/recFn are the per-node process closures, allocated
 	// once so the event loop schedules without allocating.
 	complFn, failFn, recFn []func()
@@ -254,6 +282,15 @@ func Run(opt Options) (*Result, error) {
 	if opt.ArrivalRate > 0 && opt.ArrivalHorizon <= 0 {
 		return nil, fmt.Errorf("sim: ArrivalRate needs a positive ArrivalHorizon")
 	}
+	validQueue := false
+	for _, k := range des.QueueKinds() {
+		if opt.EventQueue == k {
+			validQueue = true
+		}
+	}
+	if !validQueue {
+		return nil, fmt.Errorf("sim: unknown EventQueue kind %d", int(opt.EventQueue))
+	}
 	if opt.ArrivalWave.Period > 0 {
 		if opt.ArrivalRate <= 0 {
 			return nil, fmt.Errorf("sim: ArrivalWave needs a positive ArrivalRate")
@@ -266,7 +303,7 @@ func Run(opt Options) (*Result, error) {
 	s := &simState{
 		opt:        opt,
 		p:          opt.Params,
-		sched:      des.New(),
+		sched:      des.NewWithQueue(opt.EventQueue),
 		rng:        opt.Rand,
 		up:         make([]bool, n),
 		queues:     append([]int(nil), opt.InitialLoad...),
@@ -309,6 +346,22 @@ func Run(opt Options) (*Result, error) {
 			}
 		}
 	}
+	// Lazy churn timers are granted only when nothing can observe an idle
+	// node's unrealised up/down state: the churn law must be memoryless
+	// (discarding an unfired timer and redrawing on demand is then exactly
+	// the residual law), no trace or observer may record state changes,
+	// no router or arrival balancer may read Up(i) of an arbitrary node
+	// between events, and failure episodes must come from the precomputed
+	// plan (or a NoBalance policy), which never reads peer state.
+	if opt.LazyChurn && opt.ChurnLaw == ChurnExponential && !opt.Trace &&
+		opt.TaskObserver == nil && opt.Router == nil && s.ab == nil {
+		_, noBal := opt.Policy.(policy.NoBalance)
+		if s.fplan != nil || noBal {
+			s.lazy = true
+			s.churnTimer = make([]des.Handle, n)
+			s.lazyFrom = make([]float64, n)
+		}
+	}
 	if opt.TaskObserver != nil {
 		s.obs = opt.TaskObserver
 		s.taskq = make([]taskQueue, n)
@@ -335,8 +388,12 @@ func Run(opt Options) (*Result, error) {
 	// Initial balancing.
 	s.applyTransfers(opt.Policy.Initial(s.policyView(), s.p))
 
-	// Arm per-node processes.
+	// Arm per-node processes. A lazy run leaves idle nodes detached: their
+	// churn process stays unrealised (lazyFrom = 0) until work arrives.
 	for i := 0; i < n; i++ {
+		if s.lazy && s.queues[i] == 0 {
+			continue
+		}
 		if s.up[i] {
 			s.scheduleCompletion(i)
 			s.scheduleFailure(i)
@@ -359,6 +416,18 @@ func Run(opt Options) (*Result, error) {
 	s.sched.RunUntil(done)
 	if opt.MaxTime > 0 && s.remaining > 0 {
 		return nil, fmt.Errorf("sim: aborted at MaxTime=%v with %d tasks remaining", opt.MaxTime, s.remaining)
+	}
+	if s.lazy {
+		// Realise every detached node's churn up to the last event, so the
+		// Failures/Recoveries counters cover the same window an eager run
+		// observes (armed nodes' pending timers lie beyond it, exactly like
+		// eager timers that never fire).
+		end := s.sched.Now()
+		for i := range s.queues {
+			if !s.churnTimer[i].Active() {
+				s.lazyResolve(i, end)
+			}
+		}
 	}
 	s.res.CompletionTime = s.drainTime
 	s.trace(EvDone, -1)
@@ -501,6 +570,9 @@ func (s *simState) complete(i int) {
 	}
 	s.queues[i]--
 	s.reindex(i)
+	if s.queues[i] == 0 {
+		s.lazyDisarm(i) // idle: the up node's failure timer detaches
+	}
 	s.res.Processed[i]++
 	s.remaining--
 	if s.remaining == 0 {
@@ -515,6 +587,77 @@ func (s *simState) complete(i int) {
 }
 
 // --- churn ---
+
+// lazyResolve realises node i's detached churn process over
+// (lazyFrom[i], until]: memoryless up/down switching sampled transition
+// by transition from the shared stream, so the counters and the final
+// state are exactly what an eager run of the same process would have
+// produced — only batched at the moment someone needs them. The draw
+// that overshoots until is discarded; by memorylessness, redrawing when
+// the node is next armed is the residual law.
+func (s *simState) lazyResolve(i int, until float64) {
+	t := s.lazyFrom[i]
+	for {
+		var rate float64
+		if s.up[i] {
+			rate = s.p.FailRate[i]
+		} else {
+			rate = s.p.RecRate[i]
+		}
+		if rate == 0 {
+			break
+		}
+		d := s.churnSample(1 / rate)
+		if t+d > until {
+			break
+		}
+		t += d
+		if s.up[i] {
+			s.up[i] = false
+			s.res.Failures++
+		} else {
+			s.up[i] = true
+			s.res.Recoveries++
+		}
+	}
+	s.lazyFrom[i] = until
+}
+
+// lazyTouch brings a detached node's state up to the clock before the
+// caller reads or mutates it; armed nodes (live churn timer) are already
+// current. A no-op on eager runs.
+func (s *simState) lazyTouch(i int) {
+	if !s.lazy || s.churnTimer[i].Active() {
+		return
+	}
+	s.lazyResolve(i, s.sched.Now())
+}
+
+// lazyArm re-attaches a node that just received work: its next churn
+// transition gets a live timer again. Callers must have touched the node
+// first and must only arm nodes holding tasks.
+func (s *simState) lazyArm(i int) {
+	if !s.lazy || s.churnTimer[i].Active() {
+		return
+	}
+	if s.up[i] {
+		s.scheduleFailure(i)
+	} else {
+		s.scheduleRecovery(i)
+	}
+}
+
+// lazyDisarm detaches a node whose queue just drained: its pending churn
+// timer is cancelled and the process goes unrealised from now until the
+// next touch. A no-op on eager runs.
+func (s *simState) lazyDisarm(i int) {
+	if !s.lazy {
+		return
+	}
+	s.churnTimer[i].Cancel()
+	s.churnTimer[i] = des.Handle{}
+	s.lazyFrom[i] = s.sched.Now()
+}
 
 func (s *simState) churnSample(mean float64) float64 {
 	switch s.opt.ChurnLaw {
@@ -533,7 +676,10 @@ func (s *simState) scheduleFailure(i int) {
 		return
 	}
 	d := s.churnSample(1 / s.p.FailRate[i])
-	s.sched.After(d, s.failFn[i])
+	h := s.sched.After(d, s.failFn[i])
+	if s.lazy {
+		s.churnTimer[i] = h
+	}
 }
 
 func (s *simState) fail(i int) {
@@ -561,6 +707,13 @@ func (s *simState) fail(i int) {
 	} else {
 		s.applyTransfers(s.opt.Policy.OnFailure(i, s.policyView(), s.p))
 	}
+	if s.lazy && s.queues[i] == 0 {
+		// The failure shipped (or found) an empty queue: nothing to
+		// recover for, so the node detaches instead of arming a recovery
+		// timer. lazyTouch realises the recovery when work next arrives.
+		s.lazyFrom[i] = s.sched.Now()
+		return
+	}
 	s.scheduleRecovery(i)
 }
 
@@ -569,7 +722,10 @@ func (s *simState) scheduleRecovery(i int) {
 		return // permanently down; Validate guarantees no tasks strand here
 	}
 	d := s.churnSample(1 / s.p.RecRate[i])
-	s.sched.After(d, s.recFn[i])
+	h := s.sched.After(d, s.recFn[i])
+	if s.lazy {
+		s.churnTimer[i] = h
+	}
 }
 
 func (s *simState) recover(i int) {
@@ -610,6 +766,9 @@ func (s *simState) send(tr model.Transfer) {
 	}
 	s.queues[tr.From] -= tr.Tasks
 	s.reindex(tr.From)
+	if s.queues[tr.From] == 0 {
+		s.lazyDisarm(tr.From) // whole queue shipped away: sender detaches
+	}
 	var recs []taskRec
 	if s.obs != nil {
 		recs = s.taskq[tr.From].takeTail(tr.Tasks)
@@ -628,6 +787,7 @@ func (s *simState) send(tr model.Transfer) {
 	tasks := tr.Tasks
 	s.sched.After(delay, func() {
 		s.inFlight -= tasks
+		s.lazyTouch(to) // a detached receiver's state resolves before use
 		s.queues[to] += tasks
 		s.reindex(to)
 		if s.obs != nil {
@@ -644,6 +804,7 @@ func (s *simState) send(tr model.Transfer) {
 				s.scheduleCompletion(to)
 			}
 		}
+		s.lazyArm(to)
 	})
 }
 
@@ -709,6 +870,7 @@ func (s *simState) externalArrival() {
 	} else {
 		node = s.rng.Intn(s.p.N())
 	}
+	s.lazyTouch(node) // resolve a detached target before reading its state
 	batch := s.opt.ArrivalBatch
 	if batch <= 0 {
 		batch = 1
@@ -728,6 +890,7 @@ func (s *simState) externalArrival() {
 	if s.up[node] && s.queues[node] == batch {
 		s.scheduleCompletion(node)
 	}
+	s.lazyArm(node)
 	if s.ab != nil {
 		v := s.live // zero-copy: sampling balancers pay O(1) per arrival
 		if s.opt.Trace {
