@@ -499,6 +499,14 @@ func MonteCarloOpts(s System, spec PolicySpec, load []int, reps int, seed uint64
 	if err != nil {
 		return Estimate{}, err
 	}
+	// The eq.-(8) plan is a pure function of the parameter set: build it
+	// once and share the immutable result across every replication
+	// instead of rebuilding it O(n log n) per rep. Invalid params skip
+	// the build so the first realisation reports the validation error.
+	var plan *policy.FailurePlan
+	if p.Validate() == nil {
+		plan = policy.PlanFor(pol, p)
+	}
 	est, err := mc.Run(mc.Options{Reps: reps, Seed: seed}, func(r *xrand.Rand, rep int) (float64, error) {
 		out, err := sim.Run(sim.Options{
 			Params:         p,
@@ -512,6 +520,7 @@ func MonteCarloOpts(s System, spec PolicySpec, load []int, reps int, seed uint64
 			ArrivalHorizon: opt.ArrivalHorizon,
 			EventQueue:     qk,
 			LazyChurn:      opt.LazyChurn,
+			FailurePlan:    plan,
 		})
 		if err != nil {
 			return 0, err

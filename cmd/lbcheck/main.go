@@ -1,0 +1,65 @@
+// Command lbcheck runs the churnlb static-analysis suite: the four
+// analyzers (detrand, maporder, viewretain, hotalloc) that enforce
+// the determinism and hot-path contracts documented in the README.
+//
+// Usage:
+//
+//	go run ./cmd/lbcheck ./...
+//
+// Patterns use go list syntax and default to ./... . Exit status is 1
+// when any finding is reported, so CI can gate on it next to go vet.
+// Individual findings are suppressed in source with
+// //lint:ignore <analyzer> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"churnlb/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: 0 clean, 1 findings, 2 usage or
+// load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lbcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: lbcheck [packages]\n\n")
+		fmt.Fprintf(stderr, "Runs the churnlb lint suite (%s) over the named packages\n", names())
+		fmt.Fprintf(stderr, "(go list patterns; default ./...). Exits 1 on findings.\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	findings, err := lint.Run(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lbcheck: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "lbcheck: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+func names() string {
+	s := ""
+	for i, a := range lint.Analyzers {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.Name
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks a package")
+	}
+	var out, errb strings.Builder
+	// xrand is small, deterministic-scoped, and lint-clean.
+	if code := run([]string{"churnlb/internal/xrand"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected findings output: %s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+}
+
+func TestUsageListsAnalyzers(t *testing.T) {
+	for _, want := range []string{"detrand", "maporder", "viewretain", "hotalloc"} {
+		if !strings.Contains(names(), want) {
+			t.Errorf("names() = %q missing %s", names(), want)
+		}
+	}
+}

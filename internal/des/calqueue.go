@@ -53,6 +53,8 @@ func newCalQueue() *calQueue {
 func (q *calQueue) Len() int { return q.count }
 
 // vbOf maps a time to its virtual bucket under the current width.
+//
+//churnlb:hotpath
 func (q *calQueue) vbOf(t float64) int64 {
 	f := t / q.width
 	if f >= float64(calMaxVB) {
@@ -61,6 +63,7 @@ func (q *calQueue) vbOf(t float64) int64 {
 	return int64(f)
 }
 
+//churnlb:hotpath
 func (q *calQueue) Push(e *event) {
 	e.vb = q.vbOf(e.time)
 	b := int(e.vb & q.mask)
@@ -72,6 +75,7 @@ func (q *calQueue) Push(e *event) {
 	}
 }
 
+//churnlb:hotpath
 func (q *calQueue) Remove(e *event) {
 	b := int(e.vb & q.mask)
 	bk := q.buckets[b]
@@ -89,6 +93,7 @@ func (q *calQueue) Remove(e *event) {
 	}
 }
 
+//churnlb:hotpath
 func (q *calQueue) PopMin() *event {
 	if q.count == 0 {
 		return nil
@@ -120,6 +125,7 @@ func (q *calQueue) PopMin() *event {
 	return e
 }
 
+//churnlb:hotpath
 func (q *calQueue) MinTime() (float64, bool) {
 	if q.count == 0 {
 		return 0, false
@@ -134,6 +140,8 @@ func (q *calQueue) MinTime() (float64, bool) {
 // deliberately does not. Committing on a peek would be unsound — a later
 // push between the peek and the next pop may land behind the advanced
 // position yet ahead of the peeked event, and the sweep would skip it.
+//
+//churnlb:hotpath
 func (q *calQueue) findMin() (*event, int64) {
 	vcur := q.vcur
 	for i := 0; i < len(q.buckets); i++ {

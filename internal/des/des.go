@@ -85,6 +85,8 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 func (s *Scheduler) Len() int { return s.q.Len() }
 
 // At schedules fn at absolute time t, which must not precede the clock.
+//
+//churnlb:hotpath
 func (s *Scheduler) At(t float64, fn func()) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling into the past: %v < %v", t, s.now))
@@ -96,7 +98,7 @@ func (s *Scheduler) At(t float64, fn func()) Handle {
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 	} else {
-		e = &event{owner: s}
+		e = s.newEvent()
 	}
 	e.time, e.seq, e.fn = t, s.seq, fn
 	s.q.Push(e)
@@ -104,6 +106,8 @@ func (s *Scheduler) At(t float64, fn func()) Handle {
 }
 
 // After schedules fn after delay d (d < 0 is clamped to 0).
+//
+//churnlb:hotpath
 func (s *Scheduler) After(d float64, fn func()) Handle {
 	if d < 0 {
 		d = 0
@@ -113,6 +117,8 @@ func (s *Scheduler) After(d float64, fn func()) Handle {
 
 // Step fires the next pending event. It returns false when no events
 // remain.
+//
+//churnlb:hotpath
 func (s *Scheduler) Step() bool {
 	e := s.q.PopMin()
 	if e == nil {
@@ -159,14 +165,25 @@ func (s *Scheduler) Run(tMax float64) {
 }
 
 // remove deletes a live event from the queue and recycles its record.
+//
+//churnlb:hotpath
 func (s *Scheduler) remove(e *event) {
 	s.q.Remove(e)
 	s.recycle(e)
 }
 
+// newEvent allocates a fresh event record — the free-list miss path of
+// At, kept out of the hot path so the steady state (every record
+// recycled) stays allocation-free.
+func (s *Scheduler) newEvent() *event {
+	return &event{owner: s}
+}
+
 // recycle marks the record dead and returns it to the free list. The
 // sequence number is left in place so stale handles keep matching this
 // incarnation (and failing the index check) until the record is reused.
+//
+//churnlb:hotpath
 func (s *Scheduler) recycle(e *event) {
 	e.fn = nil
 	e.index = -1

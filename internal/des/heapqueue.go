@@ -17,12 +17,14 @@ func (q *heapQueue) MinTime() (float64, bool) {
 	return q.events[0].time, true
 }
 
+//churnlb:hotpath
 func (q *heapQueue) Push(e *event) {
 	e.index = len(q.events)
 	q.events = append(q.events, e)
 	q.up(e.index)
 }
 
+//churnlb:hotpath
 func (q *heapQueue) PopMin() *event {
 	if len(q.events) == 0 {
 		return nil
@@ -39,6 +41,7 @@ func (q *heapQueue) PopMin() *event {
 	return e
 }
 
+//churnlb:hotpath
 func (q *heapQueue) Remove(e *event) {
 	i := e.index
 	last := len(q.events) - 1
@@ -54,14 +57,17 @@ func (q *heapQueue) Remove(e *event) {
 	e.index = -1
 }
 
+//churnlb:hotpath
 func (q *heapQueue) less(i, j int) bool { return eventLess(q.events[i], q.events[j]) }
 
+//churnlb:hotpath
 func (q *heapQueue) swap(i, j int) {
 	q.events[i], q.events[j] = q.events[j], q.events[i]
 	q.events[i].index = i
 	q.events[j].index = j
 }
 
+//churnlb:hotpath
 func (q *heapQueue) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -73,6 +79,7 @@ func (q *heapQueue) up(i int) {
 	}
 }
 
+//churnlb:hotpath
 func (q *heapQueue) down(i int) {
 	n := len(q.events)
 	for {

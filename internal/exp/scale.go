@@ -51,8 +51,13 @@ func runScale(cfg Config) (*Result, error) {
 		cfg.logf("scale: %s (%d queued, burst rate %.1f/s)", sc.Name, sc.TotalQueued(), sc.ArrivalRate)
 		row := []string{kind.String()}
 		for pi, pol := range policies {
+			// One immutable eq.-(8) plan per (scenario, policy), shared
+			// read-only across all replications and workers.
+			plan := policy.PlanFor(pol, sc.Params)
 			est, err := mc.Run(mc.Options{Reps: reps, Workers: cfg.Workers, Seed: cfg.Seed ^ uint64(kind)<<8 ^ uint64(pi)}, func(r *xrand.Rand, rep int) (float64, error) {
-				out, err := sim.Run(sc.Options(pol, r))
+				o := sc.Options(pol, r)
+				o.FailurePlan = plan
+				out, err := sim.Run(o)
 				if err != nil {
 					return 0, err
 				}

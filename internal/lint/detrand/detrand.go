@@ -1,0 +1,93 @@
+// Package detrand implements the lbcheck analyzer that forbids
+// nondeterminism sources — wall-clock reads, math/rand, and
+// environment/process identity — inside the deterministic simulation
+// packages.
+//
+// Every result in this reproduction rests on bit-exact replay: goldens
+// pin fixed-seed outputs to exact float bits and the Monte-Carlo layer
+// promises worker-count-independent estimates. A single time.Now or
+// math/rand draw silently re-keys a realisation per run. All
+// randomness must come from internal/xrand streams threaded through
+// Options, and all time from the des.Scheduler clock.
+//
+// The driver applies this analyzer only to the deterministic packages;
+// internal/cluster and cmd/ are real-time transport and CLIs, where
+// wall clocks are the point.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"churnlb/internal/lint/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock, math/rand and environment reads in deterministic packages\n\n" +
+		"Flags imports of math/rand (use internal/xrand streams) and calls to\n" +
+		"time.Now/Since/Until and os.Getenv/LookupEnv/Environ/Getpid/Hostname\n" +
+		"(use the des.Scheduler clock and explicit configuration). Suppress a\n" +
+		"deliberate use with //lint:ignore detrand <reason>.",
+	Run: run,
+}
+
+// forbiddenImports are package paths that must not be imported at all.
+var forbiddenImports = map[string]string{
+	"math/rand":    "draws from a process-global, Go-release-dependent stream; use internal/xrand",
+	"math/rand/v2": "draws from a process-global stream; use internal/xrand",
+}
+
+// forbiddenCalls maps package path -> function name -> why.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock; simulated time lives on the des.Scheduler",
+		"Since": "reads the wall clock; simulated time lives on the des.Scheduler",
+		"Until": "reads the wall clock; simulated time lives on the des.Scheduler",
+	},
+	"os": {
+		"Getenv":    "makes results depend on the host environment; thread configuration through Options",
+		"LookupEnv": "makes results depend on the host environment; thread configuration through Options",
+		"Environ":   "makes results depend on the host environment; thread configuration through Options",
+		"Getpid":    "keys behaviour to the process instance; derive identity from seeds",
+		"Hostname":  "keys behaviour to the host machine; derive identity from seeds",
+	},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := forbiddenImports[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s in a deterministic package: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if fns, ok := forbiddenCalls[pkgName.Imported().Path()]; ok {
+				if why, bad := fns[sel.Sel.Name]; bad {
+					pass.Reportf(sel.Pos(), "%s.%s in a deterministic package: %s",
+						pkgName.Imported().Path(), sel.Sel.Name, why)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

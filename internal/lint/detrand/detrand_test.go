@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"churnlb/internal/lint/analysistest"
+	"churnlb/internal/lint/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "a")
+}

@@ -1,0 +1,32 @@
+// Package a exercises the detrand analyzer: forbidden nondeterminism
+// sources fire, deterministic uses of the same packages stay silent.
+package a
+
+import (
+	"math/rand" // want `import of math/rand in a deterministic package`
+	"os"
+	"time"
+)
+
+func clocks() time.Duration {
+	t0 := time.Now()          // want `time\.Now in a deterministic package`
+	d := time.Since(t0)       // want `time\.Since in a deterministic package`
+	d += time.Until(t0)       // want `time\.Until in a deterministic package`
+	d += 3 * time.Millisecond // durations are plain arithmetic: fine
+	return d
+}
+
+func environment() string {
+	host, _ := os.Hostname() // want `os\.Hostname in a deterministic package`
+	pid := os.Getpid()       // want `os\.Getpid in a deterministic package`
+	v := os.Getenv("SEED")   // want `os\.Getenv in a deterministic package`
+	_ = pid
+	_ = host
+	// Plain file IO carries no hidden nondeterminism source.
+	_ = os.WriteFile("out.txt", []byte(v), 0o644)
+	return v
+}
+
+func draws() int {
+	return rand.Intn(6) // the import is the finding; calls need no second report
+}

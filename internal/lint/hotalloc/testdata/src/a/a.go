@@ -1,0 +1,90 @@
+// Package a exercises the hotalloc analyzer: allocating constructs in
+// //churnlb:hotpath functions fire, amortized and cold-path patterns
+// stay silent, and unannotated functions are never checked.
+package a
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+//churnlb:hotpath
+func formats(err error) string {
+	return fmt.Sprintf("e: %v", err) // want `fmt\.Sprintf in hot path formats`
+}
+
+// coldPanic shows the panic exemption: a panicking branch is cold by
+// construction, however hot its function.
+//
+//churnlb:hotpath
+func coldPanic(i int) int {
+	if i < 0 {
+		panic(fmt.Sprintf("bad %d", i))
+	}
+	return i
+}
+
+//churnlb:hotpath
+func closures(xs []int) int {
+	f := func() int { return len(xs) } // want `closure in hot path closures`
+	return f()
+}
+
+// immediate literals need not escape: the call happens on the spot.
+//
+//churnlb:hotpath
+func immediate(xs []int) int {
+	return func() int { return len(xs) }()
+}
+
+//churnlb:hotpath
+func allocates(n int) {
+	_ = make([]int, n) // want `make in hot path allocates`
+	_ = new(int)       // want `new in hot path allocates`
+	_ = []int{1, n}    // want `slice literal in hot path allocates`
+	_ = map[int]int{}  // want `map literal in hot path allocates`
+	_ = &ring{}        // want `&composite literal in hot path allocates`
+}
+
+//churnlb:hotpath
+func localAppend(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append to function-local slice out`
+	}
+	return out
+}
+
+// scratchAppend reuses a caller-provided buffer: the backing array
+// amortizes across calls.
+//
+//churnlb:hotpath
+func scratchAppend(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// fieldAppend grows a struct-owned buffer: amortized, allowed.
+//
+//churnlb:hotpath
+func (r *ring) fieldAppend(x int) {
+	r.buf = append(r.buf, x)
+}
+
+//churnlb:hotpath
+func boxes(sink func(any), x int, ok bool) {
+	sink(x)  // want `argument boxes int into interface`
+	sink(ok) // want `argument boxes bool into interface`
+	var a any
+	a = x // want `assignment boxes int into interface`
+	_ = a
+}
+
+// unannotated functions may allocate freely.
+func unannotated(n int) string {
+	_ = make([]int, n)
+	return fmt.Sprint(n)
+}

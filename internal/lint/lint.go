@@ -1,0 +1,232 @@
+// Package lint assembles the lbcheck analyzer suite and applies the
+// repository's scoping and suppression policy.
+//
+// Four analyzers enforce the contracts the simulator's bit-exact
+// goldens depend on:
+//
+//   - detrand: no wall clocks, math/rand or environment reads in
+//     deterministic packages;
+//   - maporder: no observable map-iteration-order dependence in
+//     deterministic packages;
+//   - viewretain: model.StateView arguments must not outlive the call;
+//   - hotalloc: //churnlb:hotpath functions stay allocation-free.
+//
+// Scoping: detrand and maporder run only over the deterministic
+// packages (internal/{sim,des,policy,model,scenario,workload,serve,
+// mc,metrics,stats,xrand}); viewretain and hotalloc run everywhere
+// except internal/cluster, cmd/ and examples/, which are real-time
+// transport and CLIs.
+//
+// Suppression: a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// suppresses matching findings on its own line and on the following
+// line, so it works both trailing a statement and on the line above
+// it. The reason is mandatory; a malformed directive is itself
+// reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"churnlb/internal/lint/analysis"
+	"churnlb/internal/lint/detrand"
+	"churnlb/internal/lint/hotalloc"
+	"churnlb/internal/lint/load"
+	"churnlb/internal/lint/maporder"
+	"churnlb/internal/lint/viewretain"
+)
+
+// modulePath is the import-path root of this repository.
+const modulePath = "churnlb"
+
+// deterministicPkgs are the packages under the bit-exact replay
+// contract (detrand and maporder apply); subpackages inherit.
+var deterministicPkgs = []string{
+	modulePath + "/internal/sim",
+	modulePath + "/internal/des",
+	modulePath + "/internal/policy",
+	modulePath + "/internal/model",
+	modulePath + "/internal/scenario",
+	modulePath + "/internal/workload",
+	modulePath + "/internal/serve",
+	modulePath + "/internal/mc",
+	modulePath + "/internal/metrics",
+	modulePath + "/internal/stats",
+	modulePath + "/internal/xrand",
+}
+
+// exemptPkgs are outside every contract: real-time transport and CLIs,
+// where wall clocks and formatting are the point.
+var exemptPkgs = []string{
+	modulePath + "/internal/cluster",
+	modulePath + "/cmd",
+	modulePath + "/examples",
+}
+
+// Analyzers is the full suite in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	detrand.Analyzer,
+	maporder.Analyzer,
+	viewretain.Analyzer,
+	hotalloc.Analyzer,
+}
+
+// Finding is one reported, unsuppressed diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// inTree reports whether path (an import path, possibly with the
+// external-test "_test" suffix) is pkg or below it.
+func inTree(path, pkg string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	return path == pkg || strings.HasPrefix(path, pkg+"/")
+}
+
+// applies reports whether analyzer a runs over the package at path.
+func applies(a *analysis.Analyzer, path string) bool {
+	for _, p := range exemptPkgs {
+		if inTree(path, p) {
+			return false
+		}
+	}
+	switch a.Name {
+	case detrand.Analyzer.Name, maporder.Analyzer.Name:
+		for _, p := range deterministicPkgs {
+			if inTree(path, p) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// Run loads the packages matching patterns (go list syntax; default
+// "./...") and returns all unsuppressed findings, sorted by position.
+func Run(patterns ...string) ([]Finding, error) {
+	pkgs, err := load.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, p := range pkgs {
+		sup, bad := suppressions(p.Fset, p.Files)
+		findings = append(findings, bad...)
+		for _, a := range Analyzers {
+			if !applies(a, p.ImportPath) {
+				continue
+			}
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Pkg,
+				TypesInfo: p.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, p.ImportPath, err)
+			}
+			for _, d := range diags {
+				pos := p.Fset.Position(d.Pos)
+				if sup.covers(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// suppression records one //lint:ignore directive: the analyzers it
+// names and the line it sits on (it covers that line and the next).
+type suppression struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+type suppressionSet []suppression
+
+// covers reports whether a finding by analyzer a at pos is suppressed.
+func (s suppressionSet) covers(a string, pos token.Position) bool {
+	for _, sup := range s {
+		if sup.file != pos.Filename {
+			continue
+		}
+		if pos.Line != sup.line && pos.Line != sup.line+1 {
+			continue
+		}
+		if sup.analyzers["all"] || sup.analyzers[a] {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// suppressions scans comments for //lint:ignore directives. Malformed
+// directives (no analyzer list or no reason) are returned as findings
+// so they cannot silently suppress nothing.
+func suppressions(fset *token.FileSet, files []*ast.File) (suppressionSet, []Finding) {
+	var set suppressionSet
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				names := make(map[string]bool)
+				for _, n := range strings.Split(fields[0], ",") {
+					if n != "" {
+						names[n] = true
+					}
+				}
+				set = append(set, suppression{file: pos.Filename, line: pos.Line, analyzers: names})
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"churnlb/internal/lint/detrand"
+	"churnlb/internal/lint/hotalloc"
+	"churnlb/internal/lint/maporder"
+	"churnlb/internal/lint/viewretain"
+)
+
+func TestApplies(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		path     string
+		want     bool
+	}{
+		// Deterministic packages: everything applies.
+		{"detrand", "churnlb/internal/sim", true},
+		{"maporder", "churnlb/internal/des", true},
+		{"detrand", "churnlb/internal/xrand", true},
+		{"viewretain", "churnlb/internal/policy", true},
+		{"hotalloc", "churnlb/internal/policy", true},
+		// External test packages inherit their base package's scope.
+		{"maporder", "churnlb/internal/sim_test", true},
+		// Non-deterministic module packages: only the lifetime and
+		// hot-path contracts apply.
+		{"detrand", "churnlb", false},
+		{"maporder", "churnlb/internal/exp", false},
+		{"viewretain", "churnlb", true},
+		{"hotalloc", "churnlb/internal/lint", true},
+		// Real-time transport and CLIs are exempt from everything.
+		{"detrand", "churnlb/internal/cluster", false},
+		{"viewretain", "churnlb/internal/cluster", false},
+		{"hotalloc", "churnlb/cmd/churnlb", false},
+		{"maporder", "churnlb/cmd/lbcheck", false},
+		{"viewretain", "churnlb/examples/basic", false},
+	}
+	byName := map[string]bool{}
+	for _, a := range Analyzers {
+		byName[a.Name] = true
+	}
+	for _, c := range cases {
+		if !byName[c.analyzer] {
+			t.Fatalf("unknown analyzer %q in test table", c.analyzer)
+		}
+		for _, a := range Analyzers {
+			if a.Name != c.analyzer {
+				continue
+			}
+			if got := applies(a, c.path); got != c.want {
+				t.Errorf("applies(%s, %s) = %v, want %v", c.analyzer, c.path, got, c.want)
+			}
+		}
+	}
+}
+
+func TestAnalyzerSetComplete(t *testing.T) {
+	want := []string{
+		detrand.Analyzer.Name,
+		maporder.Analyzer.Name,
+		viewretain.Analyzer.Name,
+		hotalloc.Analyzer.Name,
+	}
+	if len(Analyzers) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(Analyzers), len(want))
+	}
+	for i, a := range Analyzers {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}
+
+// parse parses one synthetic file with comments.
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestSuppressionCoversOwnAndNextLine(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func f() {
+	//lint:ignore maporder reviewed: effects commute
+	x := 1
+	_ = x
+}
+`)
+	set, bad := suppressions(fset, []*ast.File{f})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed findings: %v", bad)
+	}
+	if len(set) != 1 {
+		t.Fatalf("got %d suppressions, want 1", len(set))
+	}
+	dirLine := set[0].line
+	at := func(line int) token.Position {
+		return token.Position{Filename: "x.go", Line: line}
+	}
+	if !set.covers("maporder", at(dirLine)) {
+		t.Errorf("directive does not cover its own line")
+	}
+	if !set.covers("maporder", at(dirLine+1)) {
+		t.Errorf("directive does not cover the following line")
+	}
+	if set.covers("maporder", at(dirLine+2)) {
+		t.Errorf("directive must not reach two lines down")
+	}
+	if set.covers("detrand", at(dirLine+1)) {
+		t.Errorf("directive must not suppress other analyzers")
+	}
+}
+
+func TestSuppressionAnalyzerLists(t *testing.T) {
+	fset, f := parse(t, `package p
+
+//lint:ignore detrand,hotalloc reviewed
+var a = 1
+
+//lint:ignore all reviewed
+var b = 2
+`)
+	set, bad := suppressions(fset, []*ast.File{f})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed findings: %v", bad)
+	}
+	if len(set) != 2 {
+		t.Fatalf("got %d suppressions, want 2", len(set))
+	}
+	multi, all := set[0], set[1]
+	pos := token.Position{Filename: "x.go", Line: multi.line}
+	if !set.covers("detrand", pos) || !set.covers("hotalloc", pos) {
+		t.Errorf("comma list does not cover both named analyzers")
+	}
+	if set.covers("maporder", pos) {
+		t.Errorf("comma list suppressed an unnamed analyzer")
+	}
+	posAll := token.Position{Filename: "x.go", Line: all.line}
+	for _, name := range []string{"detrand", "maporder", "viewretain", "hotalloc"} {
+		if !set.covers(name, posAll) {
+			t.Errorf("all directive does not cover %s", name)
+		}
+	}
+}
+
+func TestMalformedSuppressionIsReported(t *testing.T) {
+	fset, f := parse(t, `package p
+
+//lint:ignore maporder
+var a = 1
+`)
+	set, bad := suppressions(fset, []*ast.File{f})
+	if len(set) != 0 {
+		t.Fatalf("malformed directive still registered: %v", set)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("got %d malformed findings, want 1", len(bad))
+	}
+	if !strings.Contains(bad[0].Message, "malformed //lint:ignore") {
+		t.Errorf("unexpected message: %s", bad[0].Message)
+	}
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"churnlb/internal/lint/analysistest"
+	"churnlb/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "a")
+}

@@ -1,0 +1,100 @@
+// Package a exercises the maporder analyzer: order-sensitive map
+// ranges fire, the repaired idioms stay silent.
+package a
+
+import "sort"
+
+// sortedKeys is the canonical repair: collect, sort, iterate.
+func sortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// keyedSlots writes each visited key into its own slot of a distinct
+// structure: no iteration reads another's work.
+func keyedSlots(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// intAccum is commutative exact arithmetic: order cannot show.
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// counter only increments: order-insensitive.
+func counter(m map[string]int) int {
+	c := 0
+	for range m {
+		c++
+	}
+	return c
+}
+
+// pruneOther deletes each key from a different map.
+func pruneOther(m, other map[string]int) {
+	for k := range m {
+		delete(other, k)
+	}
+}
+
+// floatAccum is the classic determinism bug: float addition is not
+// associative, so the sum depends on visit order.
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map has nondeterministic iteration order`
+		total += v
+	}
+	return total
+}
+
+// firstWins keeps whichever entry the runtime happens to visit last.
+func firstWins(m map[string]int) (string, int) {
+	var bestK string
+	var bestV int
+	for k, v := range m { // want `range over map has nondeterministic iteration order`
+		if v > bestV {
+			bestK, bestV = k, v
+		}
+	}
+	return bestK, bestV
+}
+
+// appended builds a slice whose element order is the visit order and
+// never sorts it.
+func appended(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `range over map has nondeterministic iteration order`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// calls in the body may observe order through side effects.
+func callsOut(m map[string]int, f func(string)) {
+	for k := range m { // want `range over map has nondeterministic iteration order`
+		f(k)
+	}
+}
+
+// empty bodies are flagged too: a range that does nothing observable
+// should not be ranging a map at all.
+func empty(m map[string]int) {
+	for range m { // want `range over map has nondeterministic iteration order`
+	}
+}

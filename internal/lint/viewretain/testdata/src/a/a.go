@@ -1,0 +1,81 @@
+// Package a exercises the viewretain analyzer: stores and escaping
+// closures that let a StateView outlive its call fire, the sanctioned
+// copy idioms stay silent.
+package a
+
+import (
+	"sort"
+
+	"churnlb/internal/model"
+)
+
+type keeper struct {
+	view model.StateView
+	snap model.State
+	last float64
+}
+
+var global model.StateView
+
+func (k *keeper) storeField(v model.StateView) {
+	k.view = v // want `storing it through a struct field`
+}
+
+func storeGlobal(v model.StateView) {
+	global = v // want `package variable global`
+}
+
+func storeElement(v model.StateView, m map[int]model.StateView) {
+	m[0] = v // want `a container element`
+}
+
+func storeAlias(k *keeper, v model.StateView) {
+	w := v
+	k.view = w // want `a struct field`
+}
+
+func storeAsState(k *keeper, v model.StateView) {
+	k.snap = model.AsState(v) // want `a struct field`
+}
+
+func appendRetain(v model.StateView, sink *[]model.StateView) {
+	*sink = append(*sink, v) // want `a pointer dereference`
+}
+
+func goroutine(v model.StateView, done chan<- int) {
+	go func() { // want `closure capturing StateView v`
+		done <- v.Queue(0)
+	}()
+}
+
+func escapingClosure(v model.StateView) func() int {
+	return func() int { // want `closure capturing StateView v`
+		return v.Queue(0)
+	}
+}
+
+// keepClone is the sanctioned retention idiom: Clone() deep-copies, so
+// nothing of the live window survives.
+func keepClone(k *keeper, v model.StateView) {
+	k.snap = model.AsState(v).Clone()
+}
+
+// scalarRead derives plain data through the view; only the scalar is
+// kept.
+func scalarRead(k *keeper, v model.StateView) {
+	k.last = v.Time()
+}
+
+// deferred closures run inside this frame before it returns.
+func deferred(v model.StateView, out *int) {
+	defer func() {
+		*out = v.Queue(0)
+	}()
+}
+
+// sortCallback closures run synchronously inside sort.Slice.
+func sortCallback(v model.StateView, idx []int) {
+	sort.Slice(idx, func(i, j int) bool {
+		return v.Queue(idx[i]) < v.Queue(idx[j])
+	})
+}

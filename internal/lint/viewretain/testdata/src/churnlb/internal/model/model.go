@@ -1,0 +1,48 @@
+// Package model is a miniature stub of churnlb/internal/model with
+// just the surface the viewretain analyzer keys on: the StateView
+// interface, the retainable State/SnapshotView pair, and AsState.
+package model
+
+// StateView is a read-only window onto simulator state, valid only for
+// the duration of the call it was passed to.
+type StateView interface {
+	Time() float64
+	N() int
+	Queue(i int) int
+	Up(i int) bool
+	InFlight() int
+}
+
+// State is a materialized, retainable copy.
+type State struct {
+	Time   float64
+	Queues []int
+}
+
+// Clone deep-copies the state.
+func (s State) Clone() State {
+	s.Queues = append([]int(nil), s.Queues...)
+	return s
+}
+
+// SnapshotView adapts a retained State to StateView.
+type SnapshotView struct{ State State }
+
+func (v SnapshotView) Time() float64   { return v.State.Time }
+func (v SnapshotView) N() int          { return len(v.State.Queues) }
+func (v SnapshotView) Queue(i int) int { return v.State.Queues[i] }
+func (v SnapshotView) Up(int) bool     { return true }
+func (v SnapshotView) InFlight() int   { return 0 }
+
+// AsState exposes a view's backing state; the result may wrap scratch
+// storage and is no more retainable than the view itself.
+func AsState(v StateView) State {
+	if sv, ok := v.(SnapshotView); ok {
+		return sv.State
+	}
+	qs := make([]int, v.N())
+	for i := range qs {
+		qs[i] = v.Queue(i)
+	}
+	return State{Time: v.Time(), Queues: qs}
+}

@@ -1,0 +1,12 @@
+package viewretain_test
+
+import (
+	"testing"
+
+	"churnlb/internal/lint/analysistest"
+	"churnlb/internal/lint/viewretain"
+)
+
+func TestViewretain(t *testing.T) {
+	analysistest.Run(t, "testdata", viewretain.Analyzer, "a")
+}

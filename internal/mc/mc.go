@@ -8,6 +8,7 @@ package mc
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -108,9 +109,16 @@ func Run(opt Options, f Replication) (Estimate, error) {
 // policy-versus-policy comparisons where common random numbers reduce
 // comparison variance.
 func RunMany(opt Options, fs map[string]Replication) (map[string]Estimate, error) {
+	// Iterate labels in sorted order: each Run is independent, but the
+	// first error returned must not depend on map iteration order.
+	labels := make([]string, 0, len(fs))
+	for label := range fs {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
 	out := make(map[string]Estimate, len(fs))
-	for label, f := range fs {
-		est, err := Run(opt, f)
+	for _, label := range labels {
+		est, err := Run(opt, fs[label])
 		if err != nil {
 			return nil, fmt.Errorf("mc: %s: %w", label, err)
 		}

@@ -38,8 +38,31 @@ type FailurePlanner interface {
 // node's remaining queue happens at episode time (Transfers), in the
 // same receiver order as the reference scan, so the planned episode is
 // bit-identical to LBP2.OnFailure for every queue state.
+//
+// A built plan is immutable: every method is read-only, so one plan may
+// be shared freely — across the realisations of a Monte-Carlo sweep and
+// across the goroutines running them concurrently — as long as it was
+// built for the same Params (plans are a pure function of the parameter
+// set; see Nodes for the cheap structural check).
 type FailurePlan struct {
 	rows [][]model.Transfer
+}
+
+// Nodes returns the cluster size the plan was built for; a plan is only
+// valid for parameter sets with exactly this many nodes.
+func (fp *FailurePlan) Nodes() int { return len(fp.rows) }
+
+// PlanFor builds pol's failure plan for parameter set p, or returns nil
+// when pol does not plan (not a FailurePlanner, or the configuration
+// cannot be planned). Callers running many realisations of the same
+// Params build the plan once here and hand the shared, read-only result
+// to every run instead of paying the O(n log n) construction per run.
+func PlanFor(pol Policy, p model.Params) *FailurePlan {
+	fp, ok := pol.(FailurePlanner)
+	if !ok {
+		return nil
+	}
+	return fp.FailurePlan(p)
 }
 
 // Transfers appends node failed's failure episode to dst and returns it:
@@ -47,6 +70,8 @@ type FailurePlan struct {
 // stopping once the queue is exhausted. dst is typically a reusable
 // scratch buffer (the simulator passes one), so steady-state episodes
 // allocate nothing.
+//
+//churnlb:hotpath
 func (fp *FailurePlan) Transfers(dst []model.Transfer, failed, queued int) []model.Transfer {
 	remaining := queued
 	if remaining <= 0 {
@@ -67,6 +92,8 @@ func (fp *FailurePlan) Transfers(dst []model.Transfer, failed, queued int) []mod
 
 // Receivers returns the number of planned receivers for a failure of
 // node failed — the episode's cost bound before queue capping.
+//
+//churnlb:hotpath
 func (fp *FailurePlan) Receivers(failed int) int { return len(fp.rows[failed]) }
 
 // FailurePlan implements FailurePlanner: it builds the receiver lists in

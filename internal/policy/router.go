@@ -59,6 +59,8 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 func (*RoundRobin) Name() string { return "rr" }
 
 // Route implements Router.
+//
+//churnlb:hotpath
 func (r *RoundRobin) Route(v model.StateView, p model.Params, _ *xrand.Rand) int {
 	i := r.next % p.N()
 	r.next++
@@ -83,6 +85,8 @@ func (JSQ) RouteScore(model.Params) RouteScore {
 }
 
 // Route implements Router.
+//
+//churnlb:hotpath
 func (JSQ) Route(v model.StateView, _ model.Params, _ *xrand.Rand) int {
 	if ix, ok := v.(model.ScoreIndexed); ok {
 		if i, ok := ix.MinScoreNode(); ok {
@@ -117,6 +121,8 @@ func (r PowerOfD) choices() int {
 }
 
 // Route implements Router.
+//
+//churnlb:hotpath
 func (r PowerOfD) Route(v model.StateView, p model.Params, rng *xrand.Rand) int {
 	n := p.N()
 	best := rng.Intn(n)
@@ -152,6 +158,8 @@ func (r LeastExpectedWork) Name() string {
 }
 
 // score returns the expected completion delay of a task joining node i.
+//
+//churnlb:hotpath
 func (LeastExpectedWork) score(i, queue int, up bool, p model.Params) float64 {
 	w := float64(queue+1) / p.EffectiveRate(i)
 	if !up && p.RecRate[i] > 0 {
@@ -172,6 +180,8 @@ func (r LeastExpectedWork) RouteScore(p model.Params) RouteScore {
 }
 
 // Route implements Router.
+//
+//churnlb:hotpath
 func (r LeastExpectedWork) Route(v model.StateView, p model.Params, rng *xrand.Rand) int {
 	n := p.N()
 	if r.D <= 0 {

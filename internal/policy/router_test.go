@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"sort"
 	"testing"
 
 	"churnlb/internal/model"
@@ -128,8 +129,13 @@ func TestRouterNames(t *testing.T) {
 		"lew":  LeastExpectedWork{},
 		"lew2": LeastExpectedWork{D: 2},
 	}
-	for want, r := range cases {
-		if got := r.Name(); got != want {
+	names := make([]string, 0, len(cases))
+	for want := range cases {
+		names = append(names, want)
+	}
+	sort.Strings(names)
+	for _, want := range names {
+		if got := cases[want].Name(); got != want {
 			t.Errorf("Name() = %q, want %q", got, want)
 		}
 	}

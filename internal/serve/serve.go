@@ -53,6 +53,11 @@ type Options struct {
 	EventQueue des.QueueKind
 	// Seed drives all randomness.
 	Seed uint64
+	// failurePlan, when non-nil, is the precomputed eq.-(8) plan shared
+	// across the replications of a RunMany sweep (plans depend only on
+	// Params and are immutable, so concurrent reads are safe). Single
+	// Run calls leave it nil and let the simulator build its own.
+	failurePlan *policy.FailurePlan
 }
 
 // Result reports one serving realisation.
@@ -105,6 +110,7 @@ func Run(opt Options) (*Result, error) {
 		Router:         router,
 		TaskObserver:   col,
 		EventQueue:     opt.EventQueue,
+		FailurePlan:    opt.failurePlan,
 	})
 	if err != nil {
 		return nil, err
@@ -132,9 +138,18 @@ func RunMany(opt Options, reps, workers int, visit func(rep int, r *Result)) err
 	if reps <= 0 {
 		return fmt.Errorf("serve: RunMany needs positive reps")
 	}
+	// The eq.-(8) plan depends only on Params: build it once and share
+	// the immutable result across all replications (and workers) instead
+	// of rebuilding O(n log n) per rep. Invalid Params skip the build so
+	// the first Run can report the validation error.
+	var plan *policy.FailurePlan
+	if opt.Params.Validate() == nil {
+		plan = policy.PlanFor(opt.Policy, opt.Params)
+	}
 	return mc.ForEach(mc.Options{Reps: reps, Workers: workers}, func(rep int) error {
 		o := opt
 		o.Seed = MixSeed(opt.Seed, rep)
+		o.failurePlan = plan
 		r, err := Run(o)
 		if err != nil {
 			return err

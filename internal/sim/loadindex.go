@@ -35,12 +35,16 @@ func newScoreIndex(n int) *scoreIndex {
 
 // less orders heap entries by (score, node index) — the exact tie-break of
 // a strict less-than scan from node 0 upward.
+//
+//churnlb:hotpath
 func (x *scoreIndex) less(a, b int32) bool {
 	sa, sb := x.score[a], x.score[b]
 	return sa < sb || (sa == sb && a < b)
 }
 
 // set updates node's score and restores the heap order in O(log n).
+//
+//churnlb:hotpath
 func (x *scoreIndex) set(node int, s float64) {
 	if x.score[node] == s {
 		return
@@ -51,8 +55,11 @@ func (x *scoreIndex) set(node int, s float64) {
 }
 
 // min returns the node with the smallest (score, index) pair in O(1).
+//
+//churnlb:hotpath
 func (x *scoreIndex) min() int { return int(x.heap[0]) }
 
+//churnlb:hotpath
 func (x *scoreIndex) siftUp(k int) {
 	for k > 0 {
 		parent := (k - 1) / 2
@@ -64,6 +71,7 @@ func (x *scoreIndex) siftUp(k int) {
 	}
 }
 
+//churnlb:hotpath
 func (x *scoreIndex) siftDown(k int) {
 	n := len(x.heap)
 	for {
@@ -83,6 +91,7 @@ func (x *scoreIndex) siftDown(k int) {
 	}
 }
 
+//churnlb:hotpath
 func (x *scoreIndex) swap(a, b int) {
 	x.heap[a], x.heap[b] = x.heap[b], x.heap[a]
 	x.pos[x.heap[a]] = int32(a)

@@ -153,6 +153,17 @@ type Options struct {
 	// failure episodes come from a precomputed FailurePlan (or NoBalance);
 	// otherwise the simulator silently falls back to eager timers.
 	LazyChurn bool
+	// FailurePlan, when non-nil, supplies the precomputed eq.-(8)
+	// transfer plan instead of having the run build its own. Plans are a
+	// pure function of Params and immutable once built (see
+	// policy.PlanFor), so Monte-Carlo drivers construct one per
+	// parameter set and share it — concurrently — across replications,
+	// dropping the O(n log n) per-rep rebuild. The plan must have been
+	// built for a cluster of exactly Params.N() nodes, by the same
+	// policy configuration installed in Policy; it is honoured under the
+	// same conditions a run would plan for itself (the installed policy
+	// is a FailurePlanner and Trace is off) and ignored otherwise.
+	FailurePlan *policy.FailurePlan
 }
 
 // Wave describes a sinusoidal arrival-rate modulation (diurnal pattern).
@@ -299,6 +310,12 @@ func Run(opt Options) (*Result, error) {
 			return nil, fmt.Errorf("sim: ArrivalWave.Amplitude = %v must be in [0,1]", a)
 		}
 	}
+	if opt.FailurePlan != nil && opt.FailurePlan.Nodes() != n {
+		// Rejected even on runs that would not consult it: a plan built
+		// for a different cluster always indicates miswired sharing.
+		return nil, fmt.Errorf("sim: FailurePlan built for %d nodes, Params has %d",
+			opt.FailurePlan.Nodes(), n)
+	}
 
 	s := &simState{
 		opt:        opt,
@@ -329,8 +346,15 @@ func Run(opt Options) (*Result, error) {
 	// Like the load index, the plan is skipped when tracing — traced runs
 	// keep the per-call OnFailure path with retainable snapshots so
 	// diagnostic wrappers observe every episode.
+	// Monte-Carlo drivers running many realisations of one Params supply
+	// the plan prebuilt (Options.FailurePlan, immutable and shared);
+	// otherwise it is built here.
 	if fp, ok := opt.Policy.(policy.FailurePlanner); ok && !opt.Trace {
-		s.fplan = fp.FailurePlan(opt.Params)
+		if opt.FailurePlan != nil {
+			s.fplan = opt.FailurePlan
+		} else {
+			s.fplan = fp.FailurePlan(opt.Params)
+		}
 	}
 	// An indexed router turns every Route into an O(1) argmin lookup; the
 	// index is skipped when tracing, where routers receive retainable
@@ -466,6 +490,8 @@ func (v *liveView) MinScoreNode() (int, bool) {
 
 // reindex refreshes node i's entry in the incremental load index after a
 // queue or up/down mutation; a nil-check no-op when no index is active.
+//
+//churnlb:hotpath
 func (s *simState) reindex(i int) {
 	if s.lidx != nil {
 		s.lidx.set(i, s.scoreFn(i, s.queues[i], s.up[i]))
@@ -546,6 +572,8 @@ func (s *simState) trace(kind EventKind, node int) {
 // scheduleCompletion (re)arms node i's completion timer, cancelling any
 // outstanding one: a restarted service draws a fresh exponential stage
 // exactly as the epoch-based implementation did.
+//
+//churnlb:hotpath
 func (s *simState) scheduleCompletion(i int) {
 	s.complTimer[i].Cancel()
 	s.complTimer[i] = des.Handle{}
@@ -563,6 +591,7 @@ func (s *simState) scheduleCompletion(i int) {
 	}
 }
 
+//churnlb:hotpath
 func (s *simState) complete(i int) {
 	s.complTimer[i] = des.Handle{} // this timer just fired
 	if !s.up[i] || s.queues[i] == 0 {
@@ -595,6 +624,8 @@ func (s *simState) complete(i int) {
 // produced — only batched at the moment someone needs them. The draw
 // that overshoots until is discarded; by memorylessness, redrawing when
 // the node is next armed is the residual law.
+//
+//churnlb:hotpath
 func (s *simState) lazyResolve(i int, until float64) {
 	t := s.lazyFrom[i]
 	for {
@@ -626,6 +657,8 @@ func (s *simState) lazyResolve(i int, until float64) {
 // lazyTouch brings a detached node's state up to the clock before the
 // caller reads or mutates it; armed nodes (live churn timer) are already
 // current. A no-op on eager runs.
+//
+//churnlb:hotpath
 func (s *simState) lazyTouch(i int) {
 	if !s.lazy || s.churnTimer[i].Active() {
 		return
@@ -636,6 +669,8 @@ func (s *simState) lazyTouch(i int) {
 // lazyArm re-attaches a node that just received work: its next churn
 // transition gets a live timer again. Callers must have touched the node
 // first and must only arm nodes holding tasks.
+//
+//churnlb:hotpath
 func (s *simState) lazyArm(i int) {
 	if !s.lazy || s.churnTimer[i].Active() {
 		return
@@ -650,6 +685,8 @@ func (s *simState) lazyArm(i int) {
 // lazyDisarm detaches a node whose queue just drained: its pending churn
 // timer is cancelled and the process goes unrealised from now until the
 // next touch. A no-op on eager runs.
+//
+//churnlb:hotpath
 func (s *simState) lazyDisarm(i int) {
 	if !s.lazy {
 		return
@@ -659,6 +696,7 @@ func (s *simState) lazyDisarm(i int) {
 	s.lazyFrom[i] = s.sched.Now()
 }
 
+//churnlb:hotpath
 func (s *simState) churnSample(mean float64) float64 {
 	switch s.opt.ChurnLaw {
 	case ChurnWeibull:
@@ -671,6 +709,7 @@ func (s *simState) churnSample(mean float64) float64 {
 	}
 }
 
+//churnlb:hotpath
 func (s *simState) scheduleFailure(i int) {
 	if s.p.FailRate[i] == 0 {
 		return
@@ -682,6 +721,7 @@ func (s *simState) scheduleFailure(i int) {
 	}
 }
 
+//churnlb:hotpath
 func (s *simState) fail(i int) {
 	if !s.up[i] {
 		return // already down via some other path
@@ -717,6 +757,7 @@ func (s *simState) fail(i int) {
 	s.scheduleRecovery(i)
 }
 
+//churnlb:hotpath
 func (s *simState) scheduleRecovery(i int) {
 	if s.p.RecRate[i] == 0 {
 		return // permanently down; Validate guarantees no tasks strand here
@@ -728,6 +769,7 @@ func (s *simState) scheduleRecovery(i int) {
 	}
 }
 
+//churnlb:hotpath
 func (s *simState) recover(i int) {
 	if s.up[i] {
 		return
@@ -745,12 +787,14 @@ func (s *simState) recover(i int) {
 
 // --- transfers ---
 
+//churnlb:hotpath
 func (s *simState) applyTransfers(ts []model.Transfer) {
 	for _, tr := range ts {
 		s.send(tr)
 	}
 }
 
+//churnlb:hotpath
 func (s *simState) send(tr model.Transfer) {
 	if tr.Tasks <= 0 {
 		return
@@ -785,6 +829,7 @@ func (s *simState) send(tr model.Transfer) {
 	delay := s.transferDelay(tr.Tasks)
 	to := tr.To
 	tasks := tr.Tasks
+	//lint:ignore hotalloc the in-flight batch needs a per-transfer delivery closure; transfers are rare next to completions
 	s.sched.After(delay, func() {
 		s.inFlight -= tasks
 		s.lazyTouch(to) // a detached receiver's state resolves before use
@@ -808,6 +853,7 @@ func (s *simState) send(tr model.Transfer) {
 	})
 }
 
+//churnlb:hotpath
 func (s *simState) transferDelay(tasks int) float64 {
 	if s.p.DelayPerTask == 0 {
 		return 0
@@ -826,6 +872,7 @@ func (s *simState) transferDelay(tasks int) float64 {
 
 // --- external arrivals (dynamic extension) ---
 
+//churnlb:hotpath
 func (s *simState) scheduleArrival() {
 	rate := s.opt.ArrivalRate
 	if s.opt.ArrivalWave.Period > 0 {
@@ -836,6 +883,7 @@ func (s *simState) scheduleArrival() {
 	s.sched.After(d, s.arriveFn)
 }
 
+//churnlb:hotpath
 func (s *simState) externalArrival() {
 	if s.sched.Now() >= s.opt.ArrivalHorizon {
 		s.arrivalsOpen = false

@@ -180,11 +180,15 @@ func TestMCAgreesWithTheoryLBP1(t *testing.T) {
 func TestPolicyOrderingAtSmallDelay(t *testing.T) {
 	p := model.PaperBaseline()
 	means := map[string]float64{}
-	for name, pol := range map[string]policy.Policy{
-		"lbp1": policy.LBP1{K: 0.35, Sender: 0},
-		"lbp2": policy.LBP2{K: 1},
-		"none": policy.NoBalance{},
+	for _, c := range []struct {
+		name string
+		pol  policy.Policy
+	}{
+		{"lbp1", policy.LBP1{K: 0.35, Sender: 0}},
+		{"lbp2", policy.LBP2{K: 1}},
+		{"none", policy.NoBalance{}},
 	} {
+		name, pol := c.name, c.pol
 		est, err := mc.Run(mc.Options{Reps: 3000, Seed: 23}, func(r *xrand.Rand, rep int) (float64, error) {
 			res, err := Run(Options{Params: p, Policy: pol, InitialLoad: []int{100, 60}, Rand: r})
 			if err != nil {
