@@ -8,6 +8,7 @@ package churnlb
 // counts and CSV artifacts.
 
 import (
+	"io"
 	"testing"
 
 	"churnlb/internal/des"
@@ -326,6 +327,47 @@ func BenchmarkServeN1000(b *testing.B) { benchServe(b, 1000, 5000, pod2Spec(), 0
 // must stay within ~2x of BenchmarkServeN100, which requires both the
 // zero-copy state views (no per-arrival snapshot) and O(1) dispatch.
 func BenchmarkServeN10000(b *testing.B) { benchServe(b, 10000, 50000, pod2Spec(), 0, 0) }
+
+// benchServeTraced mirrors benchServe with the decision tracer attached
+// and its JSONL stream discarded: the full observability cost — per-
+// arrival counterfactual-k pricing, completion matching, marshalling and
+// hashing — on top of the plain serving loop.
+func benchServeTraced(b *testing.B, n int, rate float64, router RouterSpec) {
+	sc, err := scenario.Generate(scenario.Spec{Kind: scenario.Hotspot, N: n, TotalLoad: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := System{DelayPerTask: sc.Params.DelayPerTask}
+	for i := 0; i < n; i++ {
+		sys.Nodes = append(sys.Nodes, Node{
+			ProcRate: sc.Params.ProcRate[i],
+			FailRate: sc.Params.FailRate[i],
+			RecRate:  sc.Params.RecRate[i],
+		})
+	}
+	opt := ServeOptions{Rate: rate, Horizon: 20, Window: 1, TraceDecisions: true, DecisionLog: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Serve(sys, PolicySpec{Kind: PolicyLBP2, K: 1}, router, uint64(i+1), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Decisions == nil || res.Decisions.Records == 0 {
+			b.Fatal("traced realisation emitted no decision records")
+		}
+	}
+}
+
+// BenchmarkServeObsN100/1000 serve the BenchmarkServeN* workloads with
+// the decision bus attached (streaming to io.Discard). The family rides
+// the same <2x benchsummary gate as the plain Serve family, which
+// bounds the price of full observability; the plain benchmarks
+// alongside prove detached runs pay nothing at all. Counterfactual
+// pricing is O(n·k) per arrival by design, so the family stops at
+// N=10³ to keep the CI smoke pass fast — tracing is a forensic tool,
+// not a hot-path default.
+func BenchmarkServeObsN100(b *testing.B)  { benchServeTraced(b, 100, 500, pod2Spec()) }
+func BenchmarkServeObsN1000(b *testing.B) { benchServeTraced(b, 1000, 5000, pod2Spec()) }
 
 // BenchmarkServeJSQN100/1000/10000 run the same workloads under full JSQ
 // — the router that scanned every node per arrival before the

@@ -42,14 +42,15 @@ package churnlb
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"churnlb/internal/cluster"
 	"churnlb/internal/des"
 	"churnlb/internal/markov"
 	"churnlb/internal/mc"
-	"churnlb/internal/metrics"
 	"churnlb/internal/model"
+	"churnlb/internal/obs"
 	"churnlb/internal/policy"
 	"churnlb/internal/serve"
 	"churnlb/internal/sim"
@@ -688,7 +689,25 @@ type ServeOptions struct {
 	// over; 0 means GOMAXPROCS. The estimate is bit-identical for any
 	// worker count. Ignored by Serve.
 	Workers int
+	// TraceDecisions attaches the decision tracer to the run: every
+	// routed arrival is priced against its DecisionK best untaken
+	// candidates (0 means the default depth of 3) and ServeResult
+	// carries the summary in Decisions. When DecisionLog is non-nil the
+	// tracer additionally streams one JSONL record per decision to it
+	// (a non-nil DecisionLog implies TraceDecisions). Tracing never
+	// perturbs the realisation — the simulator consumes the same random
+	// stream either way, so a traced run stays bit-identical to an
+	// untraced one. Single runs only: ServeMany rejects these options.
+	TraceDecisions bool
+	DecisionK      int
+	DecisionLog    io.Writer
 }
+
+// DecisionStats summarises a decision-traced serving run: record and
+// unmatched counts, the counterfactual depth, the FNV-1a 64 hash of the
+// JSONL record stream (the run's fixed-seed fingerprint), the mean
+// regret versus the best untaken candidate, and the misroute fraction.
+type DecisionStats = obs.DecisionStats
 
 // ServeWindow is one telemetry window of a serving run.
 type ServeWindow struct {
@@ -698,6 +717,9 @@ type ServeWindow struct {
 	// 99th percentile (NaN when nothing completed); QueueDepth, InFlight
 	// and Availability time-weighted averages.
 	Throughput, P99, QueueDepth, InFlight, Availability float64
+	// Fairness is the cumulative Jain index over per-node completed work
+	// at the window's close (NaN until anything completes).
+	Fairness float64
 }
 
 // ServeResult reports one open-system serving realisation.
@@ -722,8 +744,15 @@ type ServeResult struct {
 	// Utilization is each node's processed work as a fraction of its
 	// capacity over the run: processed/(λd·Duration).
 	Utilization []float64
+	// Fairness is the Jain index over per-node completed-work shares:
+	// 1 when every node completed the same amount, 1/n when one node did
+	// everything, NaN when nothing completed.
+	Fairness float64
 	// Windows holds the telemetry time series.
 	Windows []ServeWindow
+	// Decisions summarises the decision trace when
+	// ServeOptions.TraceDecisions (or DecisionLog) was set; nil otherwise.
+	Decisions *DecisionStats
 }
 
 // Serve runs one open-system serving realisation: tasks arrive as a
@@ -736,6 +765,15 @@ func Serve(s System, spec PolicySpec, router RouterSpec, seed uint64, opt ServeO
 	so, err := buildServeOptions(s, spec, router, seed, opt)
 	if err != nil {
 		return ServeResult{}, err
+	}
+	var tracer *obs.DecisionTracer
+	if opt.TraceDecisions || opt.DecisionLog != nil {
+		so.Instrument = func(inner sim.TaskObserver) (sim.TaskObserver, sim.DecisionSink) {
+			tracer = obs.NewDecisionTracer(so.Params, obs.TraceOptions{
+				K: opt.DecisionK, W: opt.DecisionLog, Observer: inner,
+			})
+			return tracer, tracer
+		}
 	}
 	run, err := serve.Run(so)
 	if err != nil {
@@ -756,6 +794,7 @@ func Serve(s System, spec PolicySpec, router RouterSpec, seed uint64, opt ServeO
 		Availability:     sum.Availability,
 		QueueDepth:       sum.QueueDepth,
 		InFlight:         sum.InFlight,
+		Fairness:         sum.Fairness,
 		Failures:         out.Failures,
 		Recoveries:       out.Recoveries,
 		TransfersSent:    out.TransfersSent,
@@ -776,7 +815,15 @@ func Serve(s System, spec PolicySpec, router RouterSpec, seed uint64, opt ServeO
 			QueueDepth:   w.QueueDepth,
 			InFlight:     w.InFlight,
 			Availability: w.Availability,
+			Fairness:     w.Fairness,
 		})
+	}
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			return ServeResult{}, fmt.Errorf("churnlb: decision log: %w", err)
+		}
+		st := tracer.Stats()
+		res.Decisions = &st
 	}
 	return res, nil
 }
@@ -797,6 +844,10 @@ type ServeEstimate struct {
 	// order — a task-weighted view, where P50.Mean and P99.Mean weight
 	// every replication equally.
 	PooledP50, PooledP90, PooledP99 float64
+	// PooledFairness is the Jain index over the per-node completed-work
+	// tallies summed across every replication — exact, unlike the sketch
+	// percentiles, because counts merge by addition.
+	PooledFairness float64
 }
 
 // ServeMany runs reps independent serving realisations in parallel on the
@@ -809,64 +860,34 @@ func ServeMany(s System, spec PolicySpec, router RouterSpec, reps int, seed uint
 	if reps <= 0 {
 		return ServeEstimate{}, fmt.Errorf("churnlb: ServeMany needs positive reps")
 	}
+	if opt.TraceDecisions || opt.DecisionLog != nil {
+		return ServeEstimate{}, fmt.Errorf("churnlb: decision tracing is single-run only (use Serve)")
+	}
 	so, err := buildServeOptions(s, spec, router, seed, opt)
 	if err != nil {
 		return ServeEstimate{}, err
 	}
-	// Each replication keeps only its summary scalars and latency
-	// sketches, rep-indexed for worker-count-independent folding; the
-	// full Result (windows, per-node counters) is released as it is
-	// visited, so a large study holds O(reps) scalars, not O(reps)
-	// telemetry series.
-	type repStats struct {
-		completed            int
-		p50, p99, thr, avail float64
-		latency              metrics.LatencySketch
-	}
-	perRep := make([]repStats, reps)
-	err = serve.RunMany(so, reps, opt.Workers, func(rep int, run *serve.Result) {
-		perRep[rep] = repStats{
-			completed: run.Summary.Completed,
-			p50:       run.Summary.P50,
-			p99:       run.Summary.P99,
-			thr:       run.Summary.Throughput,
-			avail:     run.Summary.Availability,
-			latency:   run.Latency,
-		}
-	})
+	// The folding itself lives in serve.RunManyPooled — the single
+	// aggregation path shared with the run-manifest reproducer, so a
+	// manifest replay cannot drift from this API.
+	agg, err := serve.RunManyPooled(so, reps, opt.Workers)
 	if err != nil {
 		return ServeEstimate{}, fmt.Errorf("churnlb: %w", err)
 	}
-	p50s := make([]float64, 0, reps)
-	p99s := make([]float64, 0, reps)
-	thr := make([]float64, 0, reps)
-	avail := make([]float64, 0, reps)
-	sketches := make([]metrics.LatencySketch, reps)
-	for rep, r := range perRep {
-		sketches[rep] = r.latency
-		thr = append(thr, r.thr)
-		avail = append(avail, r.avail)
-		if r.completed == 0 {
-			continue // an empty realisation has no latency sample
-		}
-		p50s = append(p50s, r.p50)
-		p99s = append(p99s, r.p99)
-	}
-	if len(p50s) == 0 {
+	if agg.N == 0 {
 		return ServeEstimate{}, fmt.Errorf("churnlb: no serving replication completed a task")
 	}
-	pooled := pooledLatency(sketches)
-	est := ServeEstimate{
-		N:            len(p50s),
-		P50:          summarize(p50s),
-		P99:          summarize(p99s),
-		Throughput:   summarize(thr),
-		Availability: summarize(avail),
-		PooledP50:    pooled.P50.Value(),
-		PooledP90:    pooled.P90.Value(),
-		PooledP99:    pooled.P99.Value(),
-	}
-	return est, nil
+	return ServeEstimate{
+		N:              agg.N,
+		P50:            fromSummary(agg.P50),
+		P99:            fromSummary(agg.P99),
+		Throughput:     fromSummary(agg.Throughput),
+		Availability:   fromSummary(agg.Availability),
+		PooledP50:      agg.Latency.P50.Value(),
+		PooledP90:      agg.Latency.P90.Value(),
+		PooledP99:      agg.Latency.P99.Value(),
+		PooledFairness: agg.Fairness.Jain(),
+	}, nil
 }
 
 // buildServeOptions validates the serving inputs shared by Serve and
@@ -922,28 +943,7 @@ func buildServeOptions(s System, spec PolicySpec, router RouterSpec, seed uint64
 	}, nil
 }
 
-// pooledLatency merges the per-replication latency sketches pairwise —
-// adjacent pairs per round, in replication order, so the result does not
-// depend on which workers produced them. The input sketches are consumed.
-func pooledLatency(ls []metrics.LatencySketch) metrics.LatencySketch {
-	for len(ls) > 1 {
-		half := 0
-		for i := 0; i+1 < len(ls); i += 2 {
-			ls[i].Merge(ls[i+1])
-			ls[half] = ls[i]
-			half++
-		}
-		if len(ls)%2 == 1 {
-			ls[half] = ls[len(ls)-1]
-			half++
-		}
-		ls = ls[:half]
-	}
-	return ls[0]
-}
-
-// summarize folds samples into the public Estimate shape.
-func summarize(xs []float64) Estimate {
-	s := stats.Summarize(xs)
+// fromSummary converts the internal stats shape to the public Estimate.
+func fromSummary(s stats.Summary) Estimate {
 	return Estimate{N: s.N, Mean: s.Mean, Std: s.Std, CI95: s.CI95, Min: s.Min, Max: s.Max}
 }

@@ -17,6 +17,11 @@
 //	benchsummary -in bench.txt -out BENCH_smoke.json \
 //	    -against BENCH_baseline.json -match 'BenchmarkServe|BenchmarkRoute' \
 //	    -flat 'BenchmarkSimChurnWheelLazyN' -flatmax 2
+//
+// With -manifests it additionally reads run manifests written by the
+// lbsim/lbserve -manifest flag and prints their provenance and summary
+// metrics next to the bench numbers, so one artifact page carries both
+// the perf trajectory and the runs that produced the result rows.
 package main
 
 import (
@@ -30,6 +35,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"churnlb/internal/obs"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -286,6 +293,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	minNs := fs.Float64("minns", 1000, "skip baselines faster than this many ns/op (too noisy to gate on)")
 	flat := fs.String("flat", "", "regexp selecting ns/task families whose largest-N cost must stay within -flatmax of their smallest-N cost ('' disables)")
 	flatMax := fs.Float64("flatmax", 2.0, "fail when a -flat family's largest-N ns/task exceeds this multiple of its smallest-N ns/task")
+	manifests := fs.String("manifests", "", "comma-separated run-manifest JSON files to summarise alongside the bench numbers ('' disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -367,5 +375,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if *manifests != "" {
+		lines, err := manifestLines(strings.Split(*manifests, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, "benchsummary:", err)
+			return 1
+		}
+		for _, line := range lines {
+			fmt.Fprintln(stderr, line)
+		}
+	}
 	return 0
+}
+
+// manifestLines renders one provenance + metrics line per run manifest,
+// metrics in sorted key order.
+func manifestLines(paths []string) ([]string, error) {
+	var out []string
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		m, err := obs.LoadManifest(path)
+		if err != nil {
+			return nil, err
+		}
+		line := fmt.Sprintf("manifest %s: %s/%s seed=%d", path, m.Tool, m.Mode, m.Seed)
+		if m.Reps > 0 {
+			line += fmt.Sprintf(" reps=%d", m.Reps)
+		}
+		if rev := m.GitRevision; rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			line += " rev=" + rev
+		}
+		keys := make([]string, 0, len(m.Metrics))
+		for k := range m.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			line += fmt.Sprintf(" %s=%.6g", k, m.Metrics[k])
+		}
+		if m.Decisions != nil {
+			line += fmt.Sprintf(" decisions=%d hash=%s", m.Decisions.Records, m.Decisions.Hash)
+		}
+		out = append(out, line)
+	}
+	return out, nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"churnlb/internal/obs"
+)
+
+// TestManifestLines: -manifests renders one provenance line per
+// manifest with metrics in sorted key order, and propagates load errors.
+func TestManifestLines(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewManifest("lbserve", obs.ModeServe)
+	m.Seed = 9
+	m.Metrics["throughput"] = 12.5
+	m.Metrics["availability"] = 0.97
+	m.SetDecisions(obs.DecisionStats{Records: 42, K: 3, Hash: 0xbeef})
+	path := filepath.Join(dir, "m.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	lines, err := manifestLines([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("%d lines, want 1", len(lines))
+	}
+	line := lines[0]
+	for _, want := range []string{
+		"lbserve/serve", "seed=9",
+		"availability=0.97", "throughput=12.5",
+		"decisions=42", "hash=000000000000beef",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line missing %q: %s", want, line)
+		}
+	}
+	// Sorted metric keys: availability before throughput.
+	if strings.Index(line, "availability=") > strings.Index(line, "throughput=") {
+		t.Fatalf("metrics not sorted: %s", line)
+	}
+
+	if _, err := manifestLines([]string{filepath.Join(dir, "absent.json")}); err == nil {
+		t.Fatal("missing manifest not reported")
+	}
+}

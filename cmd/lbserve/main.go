@@ -2,7 +2,7 @@
 // arrive as a Poisson (optionally diurnal-wave) stream against a
 // generated cluster scenario, a dispatcher routing policy places each
 // arrival, and fixed-memory telemetry reports per-task latency
-// percentiles, throughput and availability.
+// percentiles, throughput, availability and fairness.
 //
 // Examples:
 //
@@ -10,11 +10,19 @@
 //	lbserve -scenario diurnal -nodes 100 -policy lew -rate 100 -horizon 120
 //	lbserve -scenario correlated -nodes 200 -policy jsq -rate 200 -out results
 //	lbserve -scenario uniform -nodes 500 -policy lew -rate 1000 -reps 20
-//	lbserve -scenario hotspot -nodes 10000 -policy jsq -rate 50000 -queue calendar
+//	lbserve -scenario hotspot -nodes 100 -policy pod2 -decisions trace.jsonl -manifest run.json
 //
 // With -reps > 1 the replications fan out over the Monte-Carlo worker
 // pool (capped by -workers; 0 = all CPUs) and the report shows means ±95%
 // CI plus pooled latency percentiles — bit-identical for any worker count.
+//
+// -manifest writes a machine-readable run manifest (inputs, seeds,
+// backends, summary metrics, decision-trace hash) from which
+// `reproduce -manifest` re-runs and verifies the exact realisation;
+// -decisions streams one JSONL decision record per routed arrival with
+// counterfactual-k pricing of the router's untaken choices. The
+// -cpuprofile, -memprofile and -tracefile flags capture pprof/runtime
+// profiles of the run.
 package main
 
 import (
@@ -23,53 +31,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"churnlb"
 	"churnlb/internal/metrics"
-	"churnlb/internal/model"
+	"churnlb/internal/obs"
+	"churnlb/internal/obs/rerun"
 	"churnlb/internal/report"
 	"churnlb/internal/scenario"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
-
-// systemFrom converts generated scenario params to the public System.
-func systemFrom(p model.Params) churnlb.System {
-	s := churnlb.System{DelayPerTask: p.DelayPerTask}
-	for i := 0; i < p.N(); i++ {
-		s.Nodes = append(s.Nodes, churnlb.Node{
-			ProcRate: p.ProcRate[i], FailRate: p.FailRate[i], RecRate: p.RecRate[i],
-		})
-	}
-	return s
-}
-
-// routerFor maps the -policy spelling to a router and balancing policy.
-func routerFor(name string, k float64, d int) (churnlb.RouterSpec, churnlb.PolicySpec, error) {
-	pol := churnlb.PolicySpec{Kind: churnlb.PolicyNone}
-	switch name {
-	case "uniform":
-		return churnlb.RouterSpec{Kind: churnlb.RouterUniform}, pol, nil
-	case "rr":
-		return churnlb.RouterSpec{Kind: churnlb.RouterRoundRobin}, pol, nil
-	case "jsq":
-		return churnlb.RouterSpec{Kind: churnlb.RouterJSQ}, pol, nil
-	case "pod2":
-		return churnlb.RouterSpec{Kind: churnlb.RouterPowerOfD, D: 2}, pol, nil
-	case "pod3":
-		return churnlb.RouterSpec{Kind: churnlb.RouterPowerOfD, D: 3}, pol, nil
-	case "lew":
-		return churnlb.RouterSpec{Kind: churnlb.RouterLeastExpectedWork, D: d}, pol, nil
-	case "dynlbp2":
-		// The paper's dynamic extension: uniform dispatch, LBP-2
-		// rebalancing at every arrival.
-		return churnlb.RouterSpec{Kind: churnlb.RouterUniform},
-			churnlb.PolicySpec{Kind: churnlb.PolicyDynamicLBP2, K: k}, nil
-	default:
-		return churnlb.RouterSpec{}, pol,
-			fmt.Errorf("unknown policy %q (want uniform, rr, jsq, pod2, pod3, lew or dynlbp2)", name)
-	}
-}
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lbserve", flag.ContinueOnError)
@@ -91,6 +63,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reps    = fs.Int("reps", 1, "replications; >1 aggregates a parallel Monte-Carlo estimate")
 		workers = fs.Int("workers", 0, "worker goroutines for -reps (0 = GOMAXPROCS)")
 		outDir  = fs.String("out", "", "directory for the telemetry time-series CSV ('' disables)")
+
+		decisions = fs.String("decisions", "", "JSONL decision-trace output file ('' disables; single runs only)")
+		counterK  = fs.Int("counterk", 0, "counterfactual candidates per decision record (0 = default 3)")
+		manifest  = fs.String("manifest", "", "run-manifest JSON output file ('' disables)")
+		cpuProf   = fs.String("cpuprofile", "", "CPU profile output file ('' disables)")
+		memProf   = fs.String("memprofile", "", "heap profile output file ('' disables)")
+		traceFile = fs.String("tracefile", "", "runtime execution-trace output file ('' disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -104,14 +83,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "lbserve:", err)
 		return 2
 	}
-	router, pol, err := routerFor(*polStr, *k, *d)
+	router, pol, err := rerun.ServeSpecs(*polStr, *k, *d)
 	if err != nil {
 		fmt.Fprintln(stderr, "lbserve:", err)
 		return 2
 	}
-	eq, err := churnlb.ParseEventQueue(*queue)
+	eq, _, err := rerun.ParseQueue(*queue)
 	if err != nil {
 		fmt.Fprintln(stderr, "lbserve:", err)
+		return 2
+	}
+	if *decisions != "" && *reps > 1 {
+		fmt.Fprintln(stderr, "lbserve: -decisions applies to single runs only (decision tracing is per-realisation)")
 		return 2
 	}
 	sc, err := scenario.Generate(scenario.Spec{
@@ -145,6 +128,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	prof, err := obs.StartProfiles(*cpuProf, *memProf, *traceFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbserve:", err)
+		return 1
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(stderr, "lbserve: profile:", err)
+		}
+	}()
+
+	// The manifest records the run's resolved inputs (post-defaulting
+	// wave shape included, so a replay never re-derives it) plus the
+	// summary metrics filled in below.
+	var man *obs.Manifest
+	if *manifest != "" {
+		mode := obs.ModeServe
+		if *reps > 1 {
+			mode = obs.ModeServeMany
+		}
+		man = obs.NewManifest("lbserve", mode)
+		man.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		man.Seed = *seed
+		man.Scenario = &obs.ScenarioRef{Kind: kind.String(), Nodes: *nodes, Load: *load, Delta: *delta}
+		man.Policy = obs.PolicyRef{Name: *polStr, K: *k, D: *d}
+		man.Queue = *queue
+		man.Rate = *rate
+		man.Batch = *batch
+		man.Horizon = *horizon
+		man.Window = *window
+		man.WaveAmplitude = opt.WaveAmplitude
+		man.WavePeriod = opt.WavePeriod
+	}
+	saveManifest := func() int {
+		if man == nil {
+			return 0
+		}
+		if err := man.Save(*manifest); err != nil {
+			fmt.Fprintln(stderr, "lbserve:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote: %s\n", *manifest)
+		return 0
+	}
+
 	if *reps > 1 {
 		if *outDir != "" {
 			fmt.Fprintln(stderr, "lbserve: note: -out applies to single runs; no time-series CSV is written with -reps > 1")
@@ -161,10 +189,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			est.P50.Mean, est.P50.CI95, est.P99.Mean, est.P99.CI95, est.N)
 		fmt.Fprintf(stdout, "pooled sojourn p50 %.3f s  p90 %.3f s  p99 %.3f s  (all tasks, merged sketches)\n",
 			est.PooledP50, est.PooledP90, est.PooledP99)
-		fmt.Fprintf(stdout, "throughput %.2f ±%.2f /s  availability %.1f%% ±%.1f%%\n",
+		fmt.Fprintf(stdout, "throughput %.2f ±%.2f /s  availability %.1f%% ±%.1f%%  pooled fairness %.3f\n",
 			est.Throughput.Mean, est.Throughput.CI95,
-			100*est.Availability.Mean, 100*est.Availability.CI95)
-		return 0
+			100*est.Availability.Mean, 100*est.Availability.CI95, est.PooledFairness)
+		if man != nil {
+			man.Reps = *reps
+			man.Workers = *workers
+			man.Metrics = rerun.ServeManyMetrics(est)
+		}
+		return saveManifest()
+	}
+
+	if *decisions != "" {
+		f, err := os.Create(*decisions)
+		if err != nil {
+			fmt.Fprintln(stderr, "lbserve:", err)
+			return 1
+		}
+		defer f.Close()
+		opt.TraceDecisions = true
+		opt.DecisionK = *counterK
+		opt.DecisionLog = f
 	}
 
 	res, err := churnlb.Serve(systemFrom(sc.Params), pol, router, *seed, opt)
@@ -201,8 +246,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if n := len(res.Utilization); n > 0 {
 		meanU /= float64(n)
 	}
-	fmt.Fprintf(stdout, "utilization mean %.1f%%  max %.1f%%  queue depth %.1f  in flight %.1f\n",
-		100*meanU, 100*maxU, res.QueueDepth, res.InFlight)
+	fmt.Fprintf(stdout, "utilization mean %.1f%%  max %.1f%%  queue depth %.1f  in flight %.1f  fairness %.3f\n",
+		100*meanU, 100*maxU, res.QueueDepth, res.InFlight, res.Fairness)
+	if st := res.Decisions; st != nil {
+		fmt.Fprintf(stdout, "decisions %d (unmatched %d)  counterfactual k=%d  mean regret %.4f s  misroutes %.1f%%  hash %s\n",
+			st.Records, st.Unmatched, st.K, st.MeanRegret, 100*st.MisrouteFrac, obs.HashString(st.Hash))
+		if *decisions != "" {
+			fmt.Fprintf(stdout, "wrote: %s\n", *decisions)
+		}
+	}
 
 	if *outDir != "" {
 		path, err := report.SaveCSV(*outDir, "serve_timeseries.csv", func(w io.Writer) error {
@@ -214,8 +266,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote: %s\n", path)
 	}
-	return 0
+	if man != nil {
+		man.Metrics = rerun.ServeMetrics(res)
+		if res.Decisions != nil {
+			man.SetDecisions(*res.Decisions)
+		}
+	}
+	return saveManifest()
 }
+
+// systemFrom converts generated scenario params to the public System
+// (shared with the manifest replayer, so the conversion cannot drift).
+var systemFrom = rerun.SystemFrom
 
 // windowStats converts the public window shape back to the telemetry
 // one, so the CSV columns stay defined in exactly one place
@@ -231,6 +293,7 @@ func windowStats(ws []churnlb.ServeWindow) []metrics.WindowStats {
 			QueueDepth:   w.QueueDepth,
 			InFlight:     w.InFlight,
 			Availability: w.Availability,
+			Fairness:     w.Fairness,
 		}
 	}
 	return out

@@ -117,7 +117,7 @@ func TestServeWritesTimeSeries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(b), "time,throughput,p99,queue_depth,in_flight,availability\n") {
+	if !strings.HasPrefix(string(b), "time,throughput,p99,queue_depth,in_flight,availability,fairness\n") {
 		t.Fatalf("unexpected CSV header: %.80s", b)
 	}
 }

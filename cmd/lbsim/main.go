@@ -12,6 +12,11 @@
 //	lbsim -scenario flashcrowd -nodes 1000 -load 100000 -policy lbp1 -reps 1
 //	lbsim -scenario diurnal -nodes 100 -load 20000 -policy dynamic -reps 50
 //	lbsim -scenario hotspot -nodes 10000 -load 1000000 -policy lbp2 -reps 1 -queue calendar -lazychurn
+//
+// -manifest writes a machine-readable run manifest (inputs, seeds,
+// backends, summary metrics) from which `reproduce -manifest` re-runs
+// and verifies the exact result; -cpuprofile, -memprofile and
+// -tracefile capture pprof/runtime profiles of the run.
 package main
 
 import (
@@ -20,11 +25,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"churnlb"
 	"churnlb/internal/des"
 	"churnlb/internal/mc"
-	"churnlb/internal/policy"
+	"churnlb/internal/obs"
+	"churnlb/internal/obs/rerun"
 	"churnlb/internal/scenario"
 	"churnlb/internal/sim"
 	"churnlb/internal/xrand"
@@ -53,6 +60,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scenStr  = fs.String("scenario", "", "large-cluster scenario: uniform, hotspot, correlated, flashcrowd, diurnal")
 		nodes    = fs.Int("nodes", 100, "scenario node count")
 		loadFlag = fs.Int("load", 10000, "scenario total tasks")
+
+		manifest  = fs.String("manifest", "", "run-manifest JSON output file ('' disables)")
+		cpuProf   = fs.String("cpuprofile", "", "CPU profile output file ('' disables)")
+		memProf   = fs.String("memprofile", "", "heap profile output file ('' disables)")
+		traceFile = fs.String("tracefile", "", "runtime execution-trace output file ('' disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -61,48 +73,87 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	tm, stm, err := parseTransfer(*transfer)
+	tm, stm, err := rerun.ParseTransfer(*transfer)
 	if err != nil {
 		fmt.Fprintln(stderr, "lbsim:", err)
 		return 2
 	}
-	cl, scl, err := parseChurn(*churn)
+	cl, scl, err := rerun.ParseChurn(*churn)
 	if err != nil {
 		fmt.Fprintln(stderr, "lbsim:", err)
 		return 2
 	}
-	eq, seq, err := parseQueue(*queue)
+	eq, seq, err := rerun.ParseQueue(*queue)
 	if err != nil {
 		fmt.Fprintln(stderr, "lbsim:", err)
 		return 2
 	}
 
+	prof, err := obs.StartProfiles(*cpuProf, *memProf, *traceFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbsim:", err)
+		return 1
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(stderr, "lbsim: profile:", err)
+		}
+	}()
+
+	// newManifest starts a manifest carrying the law/backend selections
+	// every lbsim mode shares; the mode paths fill the rest.
+	newManifest := func(mode string) *obs.Manifest {
+		if *manifest == "" {
+			return nil
+		}
+		man := obs.NewManifest("lbsim", mode)
+		man.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		man.Seed = *seed
+		man.Transfer = *transfer
+		man.Churn = *churn
+		man.Queue = *queue
+		man.LazyChurn = *lazy
+		return man
+	}
+	saveManifest := func(man *obs.Manifest) int {
+		if man == nil {
+			return 0
+		}
+		if err := man.Save(*manifest); err != nil {
+			fmt.Fprintln(stderr, "lbsim:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote: %s\n", *manifest)
+		return 0
+	}
+
 	if *scenStr != "" {
-		return runScenario(stdout, stderr, *scenStr, *polStr, *nodes, *loadFlag, *reps, *seed, *k, *delta, stm, scl, seq, *lazy)
+		return runScenario(stdout, stderr, *scenStr, *polStr, *nodes, *loadFlag, *reps, *seed,
+			*k, *delta, stm, scl, seq, *lazy, newManifest, saveManifest)
 	}
 
 	sys := churnlb.PaperSystem().WithDelay(*delta)
 	if *noFail {
 		sys = sys.NoFailure()
 	}
-	var spec churnlb.PolicySpec
-	switch *polStr {
-	case "lbp1":
-		spec = churnlb.PolicySpec{Kind: churnlb.PolicyLBP1, K: *k, Sender: *sender}
-	case "lbp1multi":
-		spec = churnlb.PolicySpec{Kind: churnlb.PolicyLBP1Multi, K: *k}
-	case "lbp2":
-		spec = churnlb.PolicySpec{Kind: churnlb.PolicyLBP2, K: *k}
-	case "none":
-		spec = churnlb.PolicySpec{Kind: churnlb.PolicyNone}
-	case "dynamic":
-		spec = churnlb.PolicySpec{Kind: churnlb.PolicyDynamicLBP2, K: *k}
-	default:
-		fmt.Fprintf(stderr, "lbsim: unknown policy %q\n", *polStr)
+	spec, err := rerun.SimSpec(*polStr, *k, *sender)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbsim:", err)
 		return 2
 	}
 	load := []int{*m0, *m1}
 	opts := churnlb.SimOptions{TransferMode: tm, ChurnLaw: cl, EventQueue: eq, LazyChurn: *lazy}
+
+	// The two-node manifest records the resolved system rate-by-rate
+	// (after -delta/-nofail), so a replay needs no flag re-derivation.
+	fillTwoNode := func(man *obs.Manifest) {
+		if man == nil {
+			return
+		}
+		man.System = rerun.SystemRef(sys)
+		man.InitialLoad = load
+		man.Policy = obs.PolicyRef{Name: *polStr, K: *k, Sender: *sender}
+	}
 
 	if *trace {
 		opts.Trace = true
@@ -117,7 +168,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, tp := range res.Trace {
 			fmt.Fprintf(stdout, "%.3f,%s,%d,%v\n", tp.Time, tp.Event, tp.Node, tp.Queues)
 		}
-		return 0
+		man := newManifest(obs.ModeSim)
+		fillTwoNode(man)
+		if man != nil {
+			man.Metrics = rerun.SimMetrics(res)
+		}
+		return saveManifest(man)
 	}
 	est, err := churnlb.MonteCarloOpts(sys, spec, load, *reps, *seed, opts)
 	if err != nil {
@@ -126,70 +182,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "policy %s K=%.2f workload (%d,%d) δ=%.2fs: mean %.2f s ±%.2f (95%% CI, n=%d, σ=%.2f)\n",
 		*polStr, *k, *m0, *m1, *delta, est.Mean, est.CI95, est.N, est.Std)
-	return 0
-}
-
-// parseTransfer maps the -transfer spelling to the public and simulator
-// enums in one place, so the two-node (public API) and scenario
-// (internal) paths cannot drift.
-func parseTransfer(s string) (churnlb.TransferMode, sim.TransferMode, error) {
-	switch s {
-	case "bundle":
-		return churnlb.TransferBundle, sim.TransferBundle, nil
-	case "pertask":
-		return churnlb.TransferPerTask, sim.TransferPerTask, nil
-	default:
-		return 0, 0, fmt.Errorf("unknown transfer mode %q (want bundle or pertask)", s)
+	man := newManifest(obs.ModeMC)
+	fillTwoNode(man)
+	if man != nil {
+		man.Reps = *reps
+		man.Metrics = rerun.MCMetrics(est)
 	}
-}
-
-// parseChurn maps the -churn spelling to the public and simulator enums.
-func parseChurn(s string) (churnlb.ChurnLaw, sim.ChurnLaw, error) {
-	switch s {
-	case "exp":
-		return churnlb.ChurnExponential, sim.ChurnExponential, nil
-	case "weibull":
-		return churnlb.ChurnWeibull, sim.ChurnWeibull, nil
-	case "det":
-		return churnlb.ChurnDeterministic, sim.ChurnDeterministic, nil
-	default:
-		return 0, 0, fmt.Errorf("unknown churn law %q (want exp, weibull or det)", s)
-	}
-}
-
-// parseQueue maps the -queue spelling to the public and des enums in one
-// call, the same shape as parseTransfer/parseChurn. The public-enum
-// mapping lives in churnlb.ParseEventQueue (exhaustive, errors on an
-// unmapped kind), so the two-node and scenario paths cannot drift.
-func parseQueue(s string) (churnlb.EventQueue, des.QueueKind, error) {
-	eq, err := churnlb.ParseEventQueue(s)
-	if err != nil {
-		return 0, 0, err
-	}
-	kind, err := des.ParseQueueKind(s)
-	return eq, kind, err
+	return saveManifest(man)
 }
 
 // runScenario runs a generated large-cluster scenario: a Monte-Carlo
 // study for reps > 1, a single summarised realisation for reps = 1.
-func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalLoad, reps int, seed uint64, k, delta float64, stm sim.TransferMode, scl sim.ChurnLaw, seq des.QueueKind, lazy bool) int {
+func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalLoad, reps int, seed uint64,
+	k, delta float64, stm sim.TransferMode, scl sim.ChurnLaw, seq des.QueueKind, lazy bool,
+	newManifest func(mode string) *obs.Manifest, saveManifest func(*obs.Manifest) int) int {
 	kind, err := scenario.ParseKind(scenStr)
 	if err != nil {
 		fmt.Fprintln(stderr, "lbsim:", err)
 		return 2
 	}
-	var pol policy.Policy
-	switch polStr {
-	case "lbp1", "lbp1multi":
-		pol = policy.LBP1Multi{K: k} // N-node generalisation of LBP-1
-	case "lbp2":
-		pol = policy.LBP2{K: k}
-	case "none":
-		pol = policy.NoBalance{}
-	case "dynamic":
-		pol = policy.Dynamic{Base: policy.LBP2{K: k}}
-	default:
-		fmt.Fprintf(stderr, "lbsim: unknown policy %q\n", polStr)
+	pol, err := rerun.ScenarioPolicy(polStr, k)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbsim:", err)
 		return 2
 	}
 	sc, err := scenario.Generate(scenario.Spec{
@@ -211,6 +225,13 @@ func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalL
 		o.LazyChurn = lazy
 		return o
 	}
+	fillScenario := func(man *obs.Manifest) {
+		if man == nil {
+			return
+		}
+		man.Scenario = &obs.ScenarioRef{Kind: kind.String(), Nodes: nodes, Load: totalLoad, Delta: delta}
+		man.Policy = obs.PolicyRef{Name: polStr, K: k}
+	}
 
 	if reps <= 1 {
 		res, err := sim.Run(options(xrand.NewStream(seed, 0)))
@@ -221,7 +242,12 @@ func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalL
 		fmt.Fprintf(stdout, "scenario %s policy %s: completion %.2f s, failures %d, recoveries %d, transfers %d (%d tasks), arrivals %d\n",
 			sc.Name, pol.Name(), res.CompletionTime, res.Failures, res.Recoveries,
 			res.TransfersSent, res.TasksTransferred, res.ExternalArrivals)
-		return 0
+		man := newManifest(obs.ModeSimScenario)
+		fillScenario(man)
+		if man != nil {
+			man.Metrics = rerun.SimScenarioMetrics(res)
+		}
+		return saveManifest(man)
 	}
 	est, err := mc.Run(mc.Options{Reps: reps, Seed: seed}, func(r *xrand.Rand, rep int) (float64, error) {
 		out, err := sim.Run(options(r))
@@ -236,5 +262,13 @@ func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalL
 	}
 	fmt.Fprintf(stdout, "scenario %s policy %s (%d nodes, %d tasks): mean %.2f s ±%.2f (95%% CI, n=%d, σ=%.2f)\n",
 		sc.Name, pol.Name(), nodes, totalLoad, est.Mean, est.CI95, est.N, est.Std)
-	return 0
+	man := newManifest(obs.ModeMCScenario)
+	fillScenario(man)
+	if man != nil {
+		man.Reps = reps
+		man.Metrics = rerun.MCMetrics(churnlb.Estimate{
+			N: est.N, Mean: est.Mean, Std: est.Std, CI95: est.CI95, Min: est.Min, Max: est.Max,
+		})
+	}
+	return saveManifest(man)
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"churnlb/internal/obs"
+	"churnlb/internal/obs/rerun"
+)
+
+// TestManifestReplaysExactly is the emitter/replayer drift gate: every
+// lbsim mode's -manifest output must replay to identical metrics via
+// rerun.Run — the same loop `reproduce -manifest` uses.
+func TestManifestReplaysExactly(t *testing.T) {
+	cases := map[string][]string{
+		obs.ModeMC: {"-m0", "30", "-m1", "10", "-policy", "lbp1", "-k", "0.4",
+			"-reps", "25", "-seed", "3", "-transfer", "pertask", "-churn", "weibull"},
+		obs.ModeSim: {"-m0", "20", "-m1", "5", "-policy", "lbp2", "-trace", "-seed", "8"},
+		obs.ModeSimScenario: {"-scenario", "hotspot", "-nodes", "25", "-load", "400",
+			"-policy", "dynamic", "-reps", "1", "-seed", "4", "-queue", "calendar", "-lazychurn"},
+		obs.ModeMCScenario: {"-scenario", "diurnal", "-nodes", "20", "-load", "300",
+			"-policy", "lbp2", "-reps", "5", "-seed", "6"},
+	}
+	for mode, args := range cases {
+		t.Run(mode, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.json")
+			var out, errb bytes.Buffer
+			if code := run(append(args, "-manifest", path), &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errb.String())
+			}
+			m, err := obs.LoadManifest(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Tool != "lbsim" || m.Mode != mode {
+				t.Fatalf("manifest names %s/%s, want lbsim/%s", m.Tool, m.Mode, mode)
+			}
+			if len(m.Metrics) == 0 {
+				t.Fatal("manifest carries no metrics")
+			}
+			rep, err := rerun.Run(m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("manifest did not replay: diffs %v missing %v extra %v",
+					rep.Diffs, rep.Missing, rep.Extra)
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 // Command reproduce regenerates every table and figure of the paper's
 // evaluation section, printing paper-versus-measured comparisons and
-// writing CSV artifacts.
+// writing CSV artifacts. With -manifest it instead replays a run
+// manifest written by lbsim/lbserve: the exact realisation is
+// re-executed from the manifest's inputs and its metrics — and, for
+// decision-traced runs, the decision-stream hash — are verified
+// bit-for-bit against the recorded values.
 //
 // Usage:
 //
@@ -9,6 +13,7 @@
 //	reproduce -only fig3,table3  # a subset
 //	reproduce -testbed           # include concurrent-testbed columns
 //	reproduce -list              # list experiment IDs
+//	reproduce -manifest run.json # replay + verify a run manifest
 package main
 
 import (
@@ -17,9 +22,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"churnlb/internal/exp"
+	"churnlb/internal/obs"
+	"churnlb/internal/obs/rerun"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -34,12 +42,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		testbed = fs.Bool("testbed", false, "include concurrent-testbed columns (slow, wall-clock bound)")
 		seed    = fs.Uint64("seed", 2006, "root random seed")
 		list    = fs.Bool("list", false, "list experiment IDs and exit")
+
+		manifest  = fs.String("manifest", "", "replay + verify a run manifest instead of running experiments")
+		decisions = fs.String("decisions", "", "with -manifest: JSONL file for the replayed decision trace ('' discards)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+
+	if *manifest != "" {
+		return replayManifest(stdout, stderr, *manifest, *decisions)
 	}
 
 	if *list {
@@ -89,5 +104,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if failed > 0 {
 		return 1
 	}
+	return 0
+}
+
+// replayManifest re-executes the run a manifest describes and verifies
+// the recorded metrics (and decision hash) exactly. Exit 0 means the
+// manifest reproduced bit-for-bit.
+func replayManifest(stdout, stderr io.Writer, path, decisionsPath string) int {
+	m, err := obs.LoadManifest(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "reproduce:", err)
+		return 2
+	}
+	var decisionLog io.Writer
+	if decisionsPath != "" {
+		f, err := os.Create(decisionsPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "reproduce:", err)
+			return 1
+		}
+		defer f.Close()
+		decisionLog = f
+	}
+	fmt.Fprintf(stderr, "replaying %s: %s/%s seed %d...\n", path, m.Tool, m.Mode, m.Seed)
+	rep, err := rerun.Run(m, decisionLog)
+	if err != nil {
+		fmt.Fprintln(stderr, "reproduce:", err)
+		return 1
+	}
+	keys := make([]string, 0, len(rep.Metrics))
+	for k := range rep.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(stdout, "%-20s %v\n", k, rep.Metrics[k])
+	}
+	for _, d := range rep.Diffs {
+		fmt.Fprintf(stderr, "reproduce: metric %s: manifest %v, replay %v\n", d.Key, d.Want, d.Got)
+	}
+	for _, k := range rep.Missing {
+		fmt.Fprintf(stderr, "reproduce: metric %s recorded but not reproduced\n", k)
+	}
+	for _, k := range rep.Extra {
+		fmt.Fprintf(stderr, "reproduce: metric %s reproduced but not recorded\n", k)
+	}
+	if rep.HashWant != "" {
+		fmt.Fprintf(stdout, "%-20s %s\n", "decision_hash", rep.HashGot)
+		if rep.HashWant != rep.HashGot {
+			fmt.Fprintf(stderr, "reproduce: decision hash: manifest %s, replay %s\n", rep.HashWant, rep.HashGot)
+		}
+	}
+	if !rep.OK() {
+		fmt.Fprintf(stderr, "reproduce: %s did NOT reproduce\n", path)
+		return 1
+	}
+	fmt.Fprintf(stdout, "reproduced: %s (%s/%s, %d metric(s) verified)\n", path, m.Tool, m.Mode, len(m.Metrics))
 	return 0
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"churnlb/internal/obs"
+	"churnlb/internal/obs/rerun"
+)
+
+// twoNodeManifest builds a small recorded mc manifest the way lbsim
+// would: replay once through the shared loop and freeze the metrics.
+func twoNodeManifest(t *testing.T) *obs.Manifest {
+	t.Helper()
+	m := obs.NewManifest("lbsim", obs.ModeMC)
+	m.Seed = 5
+	m.Reps = 15
+	m.System = &obs.SystemRef{
+		ProcRate:     []float64{1.0 / 3.0, 1.0 / 3.0},
+		FailRate:     []float64{1.0 / 1800, 1.0 / 1800},
+		RecRate:      []float64{1.0 / 60, 1.0 / 60},
+		DelayPerTask: 0.02,
+	}
+	m.InitialLoad = []int{30, 10}
+	m.Policy = obs.PolicyRef{Name: "lbp2", K: 1}
+	rep, err := rerun.Run(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Metrics = rep.Metrics
+	return m
+}
+
+// TestReplayManifestExitCodes: a faithful manifest verifies (exit 0), a
+// tampered one fails (exit 1), an unreadable one is a usage error
+// (exit 2).
+func TestReplayManifestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	m := twoNodeManifest(t)
+
+	good := filepath.Join(dir, "good.json")
+	if err := m.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-manifest", good}, &out, &errb); code != 0 {
+		t.Fatalf("good manifest: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "reproduced: "+good) {
+		t.Fatalf("stdout missing verdict: %s", out.String())
+	}
+
+	m.Metrics["mean"] += 1
+	bad := filepath.Join(dir, "bad.json")
+	if err := m.Save(bad); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-manifest", bad}, &out, &errb); code != 1 {
+		t.Fatalf("tampered manifest: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "did NOT reproduce") {
+		t.Fatalf("stderr missing failure verdict: %s", errb.String())
+	}
+
+	broken := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(broken, []byte(`{"schema": 99, "mode": "mc"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-manifest", broken}, &out, &errb); code != 2 {
+		t.Fatalf("schema-mismatch manifest: exit %d, want 2", code)
+	}
+	if code := run([]string{"-manifest", filepath.Join(dir, "absent.json")}, &out, &errb); code != 2 {
+		t.Fatalf("missing manifest: exit %d, want 2", code)
+	}
+}

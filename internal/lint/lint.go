@@ -59,6 +59,7 @@ var deterministicPkgs = []string{
 	modulePath + "/internal/metrics",
 	modulePath + "/internal/stats",
 	modulePath + "/internal/xrand",
+	modulePath + "/internal/obs",
 }
 
 // exemptPkgs are outside every contract: real-time transport and CLIs,

@@ -263,6 +263,58 @@ func (e *P2) Value() float64 {
 	return e.q[2]
 }
 
+// Fairness is the per-node completed-work tally behind the Jain fairness
+// index: Counts[i] is the number of tasks node i has completed. Tallies
+// from independent realisations merge by elementwise addition, so pooled
+// cross-replication fairness is exact (unlike percentile sketches) and
+// independent of merge order.
+type Fairness struct {
+	Counts []int
+}
+
+// Clone returns an independent copy of the tally.
+func (f Fairness) Clone() Fairness {
+	return Fairness{Counts: append([]int(nil), f.Counts...)}
+}
+
+// Merge folds o's per-node counts into f. An empty f adopts o's size;
+// otherwise the sizes must match.
+func (f *Fairness) Merge(o Fairness) {
+	if len(o.Counts) == 0 {
+		return
+	}
+	if len(f.Counts) == 0 {
+		f.Counts = append([]int(nil), o.Counts...)
+		return
+	}
+	if len(f.Counts) != len(o.Counts) {
+		panic("metrics: cannot merge Fairness tallies of different cluster sizes")
+	}
+	for i, c := range o.Counts {
+		f.Counts[i] += c
+	}
+}
+
+// Jain returns the Jain fairness index J = (Σx)²/(n·Σx²) over the
+// per-node shares: 1 when every node completed the same amount, 1/n when
+// one node did everything, NaN when nothing completed. The index is scale
+// free, so shares and raw counts give the same value.
+func (f Fairness) Jain() float64 {
+	var sum, sumSq float64
+	for _, c := range f.Counts {
+		x := float64(c)
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return math.NaN()
+	}
+	return sum * sum / (float64(len(f.Counts)) * sumSq)
+}
+
+// jain computes the index over a raw counts slice without copying.
+func jain(counts []int) float64 { return Fairness{Counts: counts}.Jain() }
+
 // WindowStats summarises one time window of a serving run.
 type WindowStats struct {
 	// Start and Width bound the window [Start, Start+Width).
@@ -279,6 +331,11 @@ type WindowStats struct {
 	// over the window: total queued tasks, tasks in transfer flight, and
 	// the fraction of nodes up.
 	QueueDepth, InFlight, Availability float64
+	// Fairness is the cumulative Jain index over per-node completed work
+	// at the window's close (NaN until anything completes) — cumulative
+	// rather than window-local so the series shows convergence toward the
+	// steady-state share split. Merged windows keep the later value.
+	Fairness float64
 }
 
 // winAcc is the internal accumulator behind a WindowStats.
@@ -287,6 +344,7 @@ type winAcc struct {
 	completions                   int
 	queuedInt, inFlightInt, upInt float64 // time integrals within the window
 	p99                           float64
+	fairness                      float64 // cumulative Jain index at close
 }
 
 // DefaultMaxWindows bounds the windowed series; beyond it adjacent
@@ -309,6 +367,7 @@ type Collector struct {
 
 	// whole-run aggregates
 	completed, arrived     int
+	perNode                []int // completed-task counts per node (Jain fairness)
 	sojournSum, waitSum    float64
 	waited                 int
 	p50, p90, p99          *P2
@@ -332,6 +391,7 @@ func NewCollector(n int, window float64) *Collector {
 		window:     window,
 		maxWindows: DefaultMaxWindows,
 		upCount:    n,
+		perNode:    make([]int, n),
 		p50:        NewP2(0.50),
 		p90:        NewP2(0.90),
 		p99:        NewP2(0.99),
@@ -367,6 +427,7 @@ func (c *Collector) integrate(t float64) {
 
 func (c *Collector) closeWindow() {
 	c.cur.p99 = c.curP99.Value()
+	c.cur.fairness = jain(c.perNode)
 	c.windows = append(c.windows, c.cur)
 	c.cur = winAcc{start: c.cur.start + c.cur.width, width: c.window}
 	c.curP99.Reset()
@@ -390,6 +451,7 @@ func (c *Collector) mergeWindows() {
 			inFlightInt: a.inFlightInt + b.inFlightInt,
 			upInt:       a.upInt + b.upInt,
 			p99:         math.Max(a.p99, b.p99),
+			fairness:    b.fairness, // cumulative: the later close wins
 		}
 		if math.IsNaN(a.p99) {
 			m.p99 = b.p99
@@ -417,10 +479,11 @@ func (c *Collector) TasksArrived(_, count int, t float64) {
 }
 
 // TaskCompleted implements the observer hook.
-func (c *Collector) TaskCompleted(_ int, arrival, firstService, completion float64) {
+func (c *Collector) TaskCompleted(node int, arrival, firstService, completion float64) {
 	c.advance(completion)
 	c.queued--
 	c.completed++
+	c.perNode[node]++
 	s := completion - arrival
 	c.sojournSum += s
 	c.p50.Add(s)
@@ -497,6 +560,12 @@ func (c *Collector) Sketches() LatencySketch {
 	return LatencySketch{P50: c.p50.Clone(), P90: c.p90.Clone(), P99: c.p99.Clone()}
 }
 
+// FairnessCounts returns an independent copy of the per-node completed
+// tally, safe to retain and merge across replications.
+func (c *Collector) FairnessCounts() Fairness {
+	return Fairness{Counts: c.perNode}.Clone()
+}
+
 // --- results ---
 
 // Summary is the whole-run aggregate view of a serving realisation.
@@ -515,6 +584,10 @@ type Summary struct {
 	// QueueDepth, InFlight and Availability are time-weighted averages
 	// over the whole run.
 	QueueDepth, InFlight, Availability float64
+	// Fairness is the Jain index over per-node completed-work shares:
+	// 1 when every node completed the same amount, 1/n when one node did
+	// everything, NaN when nothing completed.
+	Fairness float64
 }
 
 // Finalize integrates up to t (the end of the run) and returns the
@@ -528,6 +601,7 @@ func (c *Collector) Finalize(t float64) Summary {
 		P50:       c.p50.Value(),
 		P90:       c.p90.Value(),
 		P99:       c.p99.Value(),
+		Fairness:  jain(c.perNode),
 	}
 	if c.completed > 0 {
 		s.MeanSojourn = c.sojournSum / float64(c.completed)
@@ -556,6 +630,7 @@ func (c *Collector) Windows() []WindowStats {
 	if span := c.lastT - c.cur.start; span > 0 {
 		last := c.cur
 		last.p99 = c.curP99.Value()
+		last.fairness = jain(c.perNode)
 		out = append(out, c.export(last, span))
 	}
 	return out
@@ -567,6 +642,7 @@ func (c *Collector) export(w winAcc, span float64) WindowStats {
 		Width:       span,
 		Completions: w.completions,
 		P99:         w.p99,
+		Fairness:    w.fairness,
 	}
 	if span > 0 {
 		ws.Throughput = float64(w.completions) / span
@@ -582,7 +658,7 @@ func (c *Collector) export(w winAcc, span float64) WindowStats {
 // cmd/lbserve and the serve experiment.
 func ToTimeSeries(ws []WindowStats) report.TimeSeries {
 	ts := report.TimeSeries{}
-	var thr, p99, depth, flight, avail []float64
+	var thr, p99, depth, flight, avail, fair []float64
 	for _, w := range ws {
 		ts.Time = append(ts.Time, w.Start)
 		thr = append(thr, w.Throughput)
@@ -590,11 +666,13 @@ func ToTimeSeries(ws []WindowStats) report.TimeSeries {
 		depth = append(depth, w.QueueDepth)
 		flight = append(flight, w.InFlight)
 		avail = append(avail, w.Availability)
+		fair = append(fair, w.Fairness)
 	}
 	ts.AddColumn("throughput", thr)
 	ts.AddColumn("p99", p99)
 	ts.AddColumn("queue_depth", depth)
 	ts.AddColumn("in_flight", flight)
 	ts.AddColumn("availability", avail)
+	ts.AddColumn("fairness", fair)
 	return ts
 }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiler owns the profiling outputs behind the CLIs' -cpuprofile,
+// -memprofile and -tracefile flags: StartProfiles opens the requested
+// files and starts the CPU profile and execution trace, Stop ends them
+// and writes the heap profile. Any path may be empty to skip that
+// output; a Profiler with nothing requested is a cheap no-op.
+type Profiler struct {
+	cpu, mem, trc *os.File
+}
+
+// StartProfiles begins CPU profiling and execution tracing into the
+// non-empty paths. On error everything already started is unwound, so
+// a failed call leaves no profile running.
+func StartProfiles(cpuPath, memPath, tracePath string) (*Profiler, error) {
+	p := &Profiler{}
+	fail := func(err error) (*Profiler, error) {
+		p.Stop()
+		return nil, err
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fail(err)
+		}
+		p.cpu = f
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fail(err)
+		}
+		p.trc = f
+		if err := trace.Start(f); err != nil {
+			return fail(err)
+		}
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fail(err)
+		}
+		p.mem = f
+	}
+	return p, nil
+}
+
+// Stop ends the CPU profile and execution trace, snapshots the heap
+// profile (after a GC, so it reflects live objects), and closes every
+// file. Safe on a partially started or nil-field Profiler; the first
+// error wins but every output is still closed.
+func (p *Profiler) Stop() error {
+	var first error
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.cpu = nil
+	}
+	if p.trc != nil {
+		trace.Stop()
+		if err := p.trc.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.trc = nil
+	}
+	if p.mem != nil {
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(p.mem, 0); err != nil && first == nil {
+			first = err
+		}
+		if err := p.mem.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.mem = nil
+	}
+	return first
+}

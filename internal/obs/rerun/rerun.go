@@ -1,0 +1,527 @@
+// Package rerun replays run manifests: given an obs.Manifest it
+// re-executes the exact realisation the manifest describes — same
+// public-API or simulator path, same seeds, same backends — and
+// compares the metrics (and, for traced runs, the decision-stream
+// hash) bit-for-bit against the recorded values.
+//
+// It also owns the CLI-spelling registries (policy/router names,
+// transfer/churn laws) and the metric-map builders, shared between the
+// manifest-emitting CLIs and the replayer so the two sides cannot
+// drift: a CLI writes its metrics through the same builder the
+// replayer compares with.
+package rerun
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"churnlb"
+	"churnlb/internal/des"
+	"churnlb/internal/mc"
+	"churnlb/internal/model"
+	"churnlb/internal/obs"
+	"churnlb/internal/policy"
+	"churnlb/internal/scenario"
+	"churnlb/internal/sim"
+	"churnlb/internal/xrand"
+)
+
+// ServeSpecs maps an lbserve -policy spelling to the public router and
+// balancing-policy specs. The single source of truth for that mapping:
+// lbserve dispatches through it and manifest replay resolves through it.
+func ServeSpecs(name string, k float64, d int) (churnlb.RouterSpec, churnlb.PolicySpec, error) {
+	pol := churnlb.PolicySpec{Kind: churnlb.PolicyNone}
+	switch name {
+	case "uniform":
+		return churnlb.RouterSpec{Kind: churnlb.RouterUniform}, pol, nil
+	case "rr":
+		return churnlb.RouterSpec{Kind: churnlb.RouterRoundRobin}, pol, nil
+	case "jsq":
+		return churnlb.RouterSpec{Kind: churnlb.RouterJSQ}, pol, nil
+	case "pod2":
+		return churnlb.RouterSpec{Kind: churnlb.RouterPowerOfD, D: 2}, pol, nil
+	case "pod3":
+		return churnlb.RouterSpec{Kind: churnlb.RouterPowerOfD, D: 3}, pol, nil
+	case "lew":
+		return churnlb.RouterSpec{Kind: churnlb.RouterLeastExpectedWork, D: d}, pol, nil
+	case "dynlbp2":
+		// The paper's dynamic extension: uniform dispatch, LBP-2
+		// rebalancing at every arrival.
+		return churnlb.RouterSpec{Kind: churnlb.RouterUniform},
+			churnlb.PolicySpec{Kind: churnlb.PolicyDynamicLBP2, K: k}, nil
+	default:
+		return churnlb.RouterSpec{}, pol,
+			fmt.Errorf("unknown policy %q (want uniform, rr, jsq, pod2, pod3, lew or dynlbp2)", name)
+	}
+}
+
+// SimSpec maps an lbsim two-node -policy spelling to the public
+// balancing-policy spec.
+func SimSpec(name string, k float64, sender int) (churnlb.PolicySpec, error) {
+	switch name {
+	case "lbp1":
+		return churnlb.PolicySpec{Kind: churnlb.PolicyLBP1, K: k, Sender: sender}, nil
+	case "lbp1multi":
+		return churnlb.PolicySpec{Kind: churnlb.PolicyLBP1Multi, K: k}, nil
+	case "lbp2":
+		return churnlb.PolicySpec{Kind: churnlb.PolicyLBP2, K: k}, nil
+	case "none":
+		return churnlb.PolicySpec{Kind: churnlb.PolicyNone}, nil
+	case "dynamic":
+		return churnlb.PolicySpec{Kind: churnlb.PolicyDynamicLBP2, K: k}, nil
+	default:
+		return churnlb.PolicySpec{}, fmt.Errorf("unknown policy %q (want lbp1, lbp1multi, lbp2, none or dynamic)", name)
+	}
+}
+
+// ScenarioPolicy maps an lbsim -scenario -policy spelling to the
+// internal balancing policy.
+func ScenarioPolicy(name string, k float64) (policy.Policy, error) {
+	switch name {
+	case "lbp1", "lbp1multi":
+		return policy.LBP1Multi{K: k}, nil // N-node generalisation of LBP-1
+	case "lbp2":
+		return policy.LBP2{K: k}, nil
+	case "none":
+		return policy.NoBalance{}, nil
+	case "dynamic":
+		return policy.Dynamic{Base: policy.LBP2{K: k}}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want lbp1, lbp1multi, lbp2, none or dynamic)", name)
+	}
+}
+
+// ParseTransfer maps the -transfer spelling to the public and simulator
+// enums in one place, so the CLI paths and manifest replay cannot drift.
+func ParseTransfer(s string) (churnlb.TransferMode, sim.TransferMode, error) {
+	switch s {
+	case "", "bundle":
+		return churnlb.TransferBundle, sim.TransferBundle, nil
+	case "pertask":
+		return churnlb.TransferPerTask, sim.TransferPerTask, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown transfer mode %q (want bundle or pertask)", s)
+	}
+}
+
+// ParseChurn maps the -churn spelling to the public and simulator enums.
+func ParseChurn(s string) (churnlb.ChurnLaw, sim.ChurnLaw, error) {
+	switch s {
+	case "", "exp":
+		return churnlb.ChurnExponential, sim.ChurnExponential, nil
+	case "weibull":
+		return churnlb.ChurnWeibull, sim.ChurnWeibull, nil
+	case "det":
+		return churnlb.ChurnDeterministic, sim.ChurnDeterministic, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown churn law %q (want exp, weibull or det)", s)
+	}
+}
+
+// ParseQueue maps the -queue spelling to the public and des enums in
+// one call ('' means the heap default).
+func ParseQueue(s string) (churnlb.EventQueue, des.QueueKind, error) {
+	if s == "" {
+		s = "heap"
+	}
+	eq, err := churnlb.ParseEventQueue(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	kind, err := des.ParseQueueKind(s)
+	return eq, kind, err
+}
+
+// SystemFrom converts generated scenario params to the public System.
+func SystemFrom(p model.Params) churnlb.System {
+	s := churnlb.System{DelayPerTask: p.DelayPerTask}
+	for i := 0; i < p.N(); i++ {
+		s.Nodes = append(s.Nodes, churnlb.Node{
+			ProcRate: p.ProcRate[i], FailRate: p.FailRate[i], RecRate: p.RecRate[i],
+		})
+	}
+	return s
+}
+
+// SystemRef records a public System in manifest form; RefSystem inverts
+// it.
+func SystemRef(s churnlb.System) *obs.SystemRef {
+	r := &obs.SystemRef{DelayPerTask: s.DelayPerTask}
+	for _, n := range s.Nodes {
+		r.ProcRate = append(r.ProcRate, n.ProcRate)
+		r.FailRate = append(r.FailRate, n.FailRate)
+		r.RecRate = append(r.RecRate, n.RecRate)
+	}
+	return r
+}
+
+// RefSystem reconstructs the public System a SystemRef recorded.
+func RefSystem(r *obs.SystemRef) (churnlb.System, error) {
+	if r == nil {
+		return churnlb.System{}, fmt.Errorf("rerun: manifest records no system")
+	}
+	if len(r.ProcRate) != len(r.FailRate) || len(r.ProcRate) != len(r.RecRate) {
+		return churnlb.System{}, fmt.Errorf("rerun: system ref has mismatched rate vectors")
+	}
+	s := churnlb.System{DelayPerTask: r.DelayPerTask}
+	for i := range r.ProcRate {
+		s.Nodes = append(s.Nodes, churnlb.Node{
+			ProcRate: r.ProcRate[i], FailRate: r.FailRate[i], RecRate: r.RecRate[i],
+		})
+	}
+	return s, nil
+}
+
+// generate regenerates the scenario a manifest pinned.
+func generate(m *obs.Manifest) (*scenario.Scenario, error) {
+	if m.Scenario == nil {
+		return nil, fmt.Errorf("rerun: manifest records no scenario")
+	}
+	kind, err := scenario.ParseKind(m.Scenario.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Generate(scenario.Spec{
+		Kind:         kind,
+		N:            m.Scenario.Nodes,
+		TotalLoad:    m.Scenario.Load,
+		Seed:         m.Seed,
+		DelayPerTask: m.Scenario.Delta,
+	})
+}
+
+// putFinite records a metric, skipping NaN and infinities: JSON cannot
+// carry them, so they are omitted on write and on replay alike (an
+// omitted key then still compares equal).
+func putFinite(m map[string]float64, key string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	m[key] = v
+}
+
+// ServeMetrics is the manifest metric map of a single serving run.
+func ServeMetrics(res churnlb.ServeResult) map[string]float64 {
+	m := map[string]float64{}
+	m["arrived"] = float64(res.Arrived)
+	m["completed"] = float64(res.Completed)
+	m["duration"] = res.Duration
+	putFinite(m, "p50", res.P50)
+	putFinite(m, "p90", res.P90)
+	putFinite(m, "p99", res.P99)
+	putFinite(m, "mean_sojourn", res.MeanSojourn)
+	putFinite(m, "mean_wait", res.MeanWait)
+	putFinite(m, "throughput", res.Throughput)
+	putFinite(m, "availability", res.Availability)
+	putFinite(m, "queue_depth", res.QueueDepth)
+	putFinite(m, "in_flight", res.InFlight)
+	putFinite(m, "fairness", res.Fairness)
+	m["failures"] = float64(res.Failures)
+	m["recoveries"] = float64(res.Recoveries)
+	m["transfers_sent"] = float64(res.TransfersSent)
+	m["tasks_transferred"] = float64(res.TasksTransferred)
+	return m
+}
+
+// ServeManyMetrics is the manifest metric map of a serving sweep.
+func ServeManyMetrics(est churnlb.ServeEstimate) map[string]float64 {
+	m := map[string]float64{}
+	m["n"] = float64(est.N)
+	putFinite(m, "p50_mean", est.P50.Mean)
+	putFinite(m, "p50_ci95", est.P50.CI95)
+	putFinite(m, "p99_mean", est.P99.Mean)
+	putFinite(m, "p99_ci95", est.P99.CI95)
+	putFinite(m, "throughput_mean", est.Throughput.Mean)
+	putFinite(m, "throughput_ci95", est.Throughput.CI95)
+	putFinite(m, "availability_mean", est.Availability.Mean)
+	putFinite(m, "availability_ci95", est.Availability.CI95)
+	putFinite(m, "pooled_p50", est.PooledP50)
+	putFinite(m, "pooled_p90", est.PooledP90)
+	putFinite(m, "pooled_p99", est.PooledP99)
+	putFinite(m, "pooled_fairness", est.PooledFairness)
+	return m
+}
+
+// MCMetrics is the manifest metric map of a completion-time
+// Monte-Carlo estimate (two-node or scenario).
+func MCMetrics(est churnlb.Estimate) map[string]float64 {
+	m := map[string]float64{}
+	m["n"] = float64(est.N)
+	putFinite(m, "mean", est.Mean)
+	putFinite(m, "std", est.Std)
+	putFinite(m, "ci95", est.CI95)
+	return m
+}
+
+// SimMetrics is the manifest metric map of a single two-node
+// realisation.
+func SimMetrics(res churnlb.SimResult) map[string]float64 {
+	m := map[string]float64{}
+	m["completion_time"] = res.CompletionTime
+	m["failures"] = float64(res.Failures)
+	m["transfers_sent"] = float64(res.TransfersSent)
+	m["tasks_transferred"] = float64(res.TasksTransferred)
+	return m
+}
+
+// SimScenarioMetrics is the manifest metric map of a single
+// generated-cluster realisation.
+func SimScenarioMetrics(res *sim.Result) map[string]float64 {
+	m := map[string]float64{}
+	m["completion_time"] = res.CompletionTime
+	m["failures"] = float64(res.Failures)
+	m["recoveries"] = float64(res.Recoveries)
+	m["transfers_sent"] = float64(res.TransfersSent)
+	m["tasks_transferred"] = float64(res.TasksTransferred)
+	m["external_arrivals"] = float64(res.ExternalArrivals)
+	return m
+}
+
+// Diff is one metric whose replayed value differs from the recorded one.
+type Diff struct {
+	Key       string
+	Want, Got float64
+}
+
+// Report is the outcome of replaying one manifest.
+type Report struct {
+	// Mode echoes the manifest mode that was replayed.
+	Mode string
+	// Metrics holds the replay's metric map.
+	Metrics map[string]float64
+	// Diffs lists metrics with differing values; Missing the recorded
+	// keys the replay did not produce; Extra the replayed keys the
+	// manifest lacks.
+	Diffs          []Diff
+	Missing, Extra []string
+	// HashWant and HashGot compare the decision-stream hashes when the
+	// manifest carries a decisions block ("" otherwise).
+	HashWant, HashGot string
+	// Decisions summarises the replay's decision trace, when traced.
+	Decisions *obs.DecisionStats
+}
+
+// OK reports whether the replay reproduced the manifest exactly.
+func (r *Report) OK() bool {
+	return len(r.Diffs) == 0 && len(r.Missing) == 0 && len(r.Extra) == 0 &&
+		r.HashWant == r.HashGot
+}
+
+// compare fills the report's diff lists from the recorded and replayed
+// metric maps. Values compare with ==: both sides are float64 that
+// round-tripped through JSON's shortest-form encoding, so a
+// deterministic replay matches bit-for-bit.
+func (r *Report) compare(want map[string]float64) {
+	keys := make([]string, 0, len(want)+len(r.Metrics))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	prev := ""
+	for i, k := range keys {
+		if i > 0 && k == prev {
+			continue // union: a key in both maps appears twice
+		}
+		prev = k
+		w, haveW := want[k]
+		g, haveG := r.Metrics[k]
+		switch {
+		case !haveW:
+			r.Extra = append(r.Extra, k)
+		case !haveG:
+			r.Missing = append(r.Missing, k)
+		case w != g:
+			r.Diffs = append(r.Diffs, Diff{Key: k, Want: w, Got: g})
+		}
+	}
+}
+
+// Run replays a manifest and reports how faithfully the replay matched.
+// For manifests with a decisions block the replay re-attaches the
+// decision tracer at the recorded counterfactual depth and compares the
+// stream hash; decisionLog, when non-nil, additionally receives the
+// replayed JSONL records.
+func Run(m *obs.Manifest, decisionLog io.Writer) (*Report, error) {
+	rep := &Report{Mode: m.Mode}
+	switch m.Mode {
+	case obs.ModeServe, obs.ModeServeMany:
+		if err := rerunServe(m, decisionLog, rep); err != nil {
+			return nil, err
+		}
+	case obs.ModeSim, obs.ModeMC:
+		if err := rerunTwoNode(m, rep); err != nil {
+			return nil, err
+		}
+	case obs.ModeSimScenario, obs.ModeMCScenario:
+		if err := rerunScenario(m, rep); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("rerun: unknown manifest mode %q", m.Mode)
+	}
+	rep.compare(m.Metrics)
+	if m.Decisions != nil {
+		rep.HashWant = m.Decisions.Hash
+		if rep.Decisions != nil {
+			rep.HashGot = obs.HashString(rep.Decisions.Hash)
+		}
+	}
+	return rep, nil
+}
+
+// rerunServe replays the lbserve modes through the public serving API.
+func rerunServe(m *obs.Manifest, decisionLog io.Writer, rep *Report) error {
+	router, pol, err := ServeSpecs(m.Policy.Name, m.Policy.K, m.Policy.D)
+	if err != nil {
+		return err
+	}
+	eq, _, err := ParseQueue(m.Queue)
+	if err != nil {
+		return err
+	}
+	tm, _, err := ParseTransfer(m.Transfer)
+	if err != nil {
+		return err
+	}
+	cl, _, err := ParseChurn(m.Churn)
+	if err != nil {
+		return err
+	}
+	sc, err := generate(m)
+	if err != nil {
+		return err
+	}
+	opt := churnlb.ServeOptions{
+		Rate:          m.Rate,
+		Batch:         m.Batch,
+		Horizon:       m.Horizon,
+		InitialLoad:   sc.InitialLoad,
+		InitialUp:     sc.InitialUp,
+		Window:        m.Window,
+		TransferMode:  tm,
+		ChurnLaw:      cl,
+		EventQueue:    eq,
+		WaveAmplitude: m.WaveAmplitude,
+		WavePeriod:    m.WavePeriod,
+	}
+	sys := SystemFrom(sc.Params)
+	if m.Mode == obs.ModeServeMany {
+		opt.Workers = m.Workers
+		est, err := churnlb.ServeMany(sys, pol, router, m.Reps, m.Seed, opt)
+		if err != nil {
+			return err
+		}
+		rep.Metrics = ServeManyMetrics(est)
+		return nil
+	}
+	if m.Decisions != nil {
+		opt.TraceDecisions = true
+		opt.DecisionK = m.Decisions.K
+		opt.DecisionLog = decisionLog
+	}
+	res, err := churnlb.Serve(sys, pol, router, m.Seed, opt)
+	if err != nil {
+		return err
+	}
+	rep.Metrics = ServeMetrics(res)
+	rep.Decisions = res.Decisions
+	return nil
+}
+
+// rerunTwoNode replays the lbsim two-node modes through the public API.
+func rerunTwoNode(m *obs.Manifest, rep *Report) error {
+	sys, err := RefSystem(m.System)
+	if err != nil {
+		return err
+	}
+	spec, err := SimSpec(m.Policy.Name, m.Policy.K, m.Policy.Sender)
+	if err != nil {
+		return err
+	}
+	tm, _, err := ParseTransfer(m.Transfer)
+	if err != nil {
+		return err
+	}
+	cl, _, err := ParseChurn(m.Churn)
+	if err != nil {
+		return err
+	}
+	eq, _, err := ParseQueue(m.Queue)
+	if err != nil {
+		return err
+	}
+	opts := churnlb.SimOptions{TransferMode: tm, ChurnLaw: cl, EventQueue: eq, LazyChurn: m.LazyChurn}
+	if m.Mode == obs.ModeSim {
+		opts.Trace = true // mirror lbsim -trace; tracing never perturbs the run
+		res, err := churnlb.Simulate(sys, spec, m.InitialLoad, m.Seed, opts)
+		if err != nil {
+			return err
+		}
+		rep.Metrics = SimMetrics(res)
+		return nil
+	}
+	est, err := churnlb.MonteCarloOpts(sys, spec, m.InitialLoad, m.Reps, m.Seed, opts)
+	if err != nil {
+		return err
+	}
+	rep.Metrics = MCMetrics(est)
+	return nil
+}
+
+// rerunScenario replays the lbsim -scenario modes through the internal
+// simulator, exactly as the CLI runs them.
+func rerunScenario(m *obs.Manifest, rep *Report) error {
+	pol, err := ScenarioPolicy(m.Policy.Name, m.Policy.K)
+	if err != nil {
+		return err
+	}
+	_, stm, err := ParseTransfer(m.Transfer)
+	if err != nil {
+		return err
+	}
+	_, scl, err := ParseChurn(m.Churn)
+	if err != nil {
+		return err
+	}
+	_, seq, err := ParseQueue(m.Queue)
+	if err != nil {
+		return err
+	}
+	sc, err := generate(m)
+	if err != nil {
+		return err
+	}
+	options := func(r *xrand.Rand) sim.Options {
+		o := sc.Options(pol, r)
+		o.TransferMode = stm
+		o.ChurnLaw = scl
+		o.EventQueue = seq
+		o.LazyChurn = m.LazyChurn
+		return o
+	}
+	if m.Mode == obs.ModeSimScenario {
+		res, err := sim.Run(options(xrand.NewStream(m.Seed, 0)))
+		if err != nil {
+			return err
+		}
+		rep.Metrics = SimScenarioMetrics(res)
+		return nil
+	}
+	est, err := mc.Run(mc.Options{Reps: m.Reps, Seed: m.Seed}, func(r *xrand.Rand, rep int) (float64, error) {
+		out, err := sim.Run(options(r))
+		if err != nil {
+			return 0, err
+		}
+		return out.CompletionTime, nil
+	})
+	if err != nil {
+		return err
+	}
+	rep.Metrics = MCMetrics(churnlb.Estimate{N: est.N, Mean: est.Mean, Std: est.Std, CI95: est.CI95, Min: est.Min, Max: est.Max})
+	return nil
+}

@@ -1,0 +1,166 @@
+package rerun
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"churnlb/internal/obs"
+)
+
+// record runs a manifest once and freezes the replay's outcome into it,
+// exactly what the CLIs do through the shared metric builders. A second
+// Run must then reproduce it bit-for-bit.
+func record(t *testing.T, m *obs.Manifest) {
+	t.Helper()
+	rep, err := Run(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Metrics = rep.Metrics
+	if rep.Decisions != nil {
+		m.SetDecisions(*rep.Decisions)
+	}
+}
+
+func verify(t *testing.T, m *obs.Manifest, decisionLog *bytes.Buffer) *Report {
+	t.Helper()
+	var w io.Writer
+	if decisionLog != nil {
+		w = decisionLog
+	}
+	rep, err := Run(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("replay did not reproduce: diffs %v missing %v extra %v hash %q vs %q",
+			rep.Diffs, rep.Missing, rep.Extra, rep.HashWant, rep.HashGot)
+	}
+	return rep
+}
+
+// TestRerunServeWithDecisions: a traced serve manifest replays to the
+// same metrics, the same decision hash, and a byte-identical JSONL
+// stream on every replay.
+func TestRerunServeWithDecisions(t *testing.T) {
+	m := obs.NewManifest("lbserve", obs.ModeServe)
+	m.Seed = 11
+	m.Scenario = &obs.ScenarioRef{Kind: "hotspot", Nodes: 10, Load: 200, Delta: 0.02}
+	m.Policy = obs.PolicyRef{Name: "lew"}
+	m.Rate = 30
+	m.Batch = 1
+	m.Horizon = 5
+	m.Window = 1
+
+	// First pass with a tracer attached (Decisions set before recording so
+	// rerunServe attaches the tracer both times).
+	m.Decisions = &obs.DecisionRef{K: 2}
+	rep, err := Run(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decisions == nil || rep.Decisions.Records == 0 {
+		t.Fatal("traced replay produced no decision records")
+	}
+	m.Metrics = rep.Metrics
+	m.SetDecisions(*rep.Decisions)
+
+	var log1, log2 bytes.Buffer
+	verify(t, m, &log1)
+	got := verify(t, m, &log2)
+	if log1.Len() == 0 || !bytes.Equal(log1.Bytes(), log2.Bytes()) {
+		t.Fatalf("decision streams differ across replays (%d vs %d bytes)", log1.Len(), log2.Len())
+	}
+	if got.HashGot != m.Decisions.Hash {
+		t.Fatalf("hash %s, manifest %s", got.HashGot, m.Decisions.Hash)
+	}
+	if got.Decisions.K != 2 {
+		t.Fatalf("replay priced k=%d, manifest recorded 2", got.Decisions.K)
+	}
+
+	// Tampering with a metric must be detected.
+	m.Metrics["completed"]++
+	tampered, err := Run(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tampered.OK() || len(tampered.Diffs) != 1 || tampered.Diffs[0].Key != "completed" {
+		t.Fatalf("tampered metric not flagged: %+v", tampered.Diffs)
+	}
+}
+
+// TestRerunServeMany: the pooled-sweep mode replays bit-for-bit.
+func TestRerunServeMany(t *testing.T) {
+	m := obs.NewManifest("lbserve", obs.ModeServeMany)
+	m.Seed = 3
+	m.Reps = 8
+	m.Scenario = &obs.ScenarioRef{Kind: "uniform", Nodes: 8, Load: 100, Delta: 0.02}
+	m.Policy = obs.PolicyRef{Name: "pod2"}
+	m.Rate = 20
+	m.Batch = 1
+	m.Horizon = 4
+	m.Window = 1
+	record(t, m)
+	verify(t, m, nil)
+}
+
+// TestRerunTwoNode: the lbsim mc and sim modes replay bit-for-bit,
+// including non-default transfer/churn laws.
+func TestRerunTwoNode(t *testing.T) {
+	for _, mode := range []string{obs.ModeMC, obs.ModeSim} {
+		m := obs.NewManifest("lbsim", mode)
+		m.Seed = 7
+		m.Reps = 20
+		m.System = &obs.SystemRef{
+			ProcRate:     []float64{1.0 / 3.0, 1.0 / 3.0},
+			FailRate:     []float64{1.0 / 1800, 1.0 / 1800},
+			RecRate:      []float64{1.0 / 60, 1.0 / 60},
+			DelayPerTask: 0.02,
+		}
+		m.InitialLoad = []int{40, 20}
+		m.Policy = obs.PolicyRef{Name: "lbp2", K: 1}
+		m.Transfer = "pertask"
+		m.Churn = "weibull"
+		record(t, m)
+		verify(t, m, nil)
+	}
+}
+
+// TestRerunScenario: generated-cluster modes replay bit-for-bit across
+// queue backends and lazy churn.
+func TestRerunScenario(t *testing.T) {
+	for _, mode := range []string{obs.ModeSimScenario, obs.ModeMCScenario} {
+		m := obs.NewManifest("lbsim", mode)
+		m.Seed = 9
+		m.Reps = 5
+		m.Scenario = &obs.ScenarioRef{Kind: "flashcrowd", Nodes: 12, Load: 300, Delta: 0.02}
+		m.Policy = obs.PolicyRef{Name: "lbp2", K: 1}
+		m.Queue = "calendar"
+		m.LazyChurn = true
+		record(t, m)
+		verify(t, m, nil)
+	}
+}
+
+// TestRerunRejects: unknown modes and malformed refs error cleanly.
+func TestRerunRejects(t *testing.T) {
+	m := obs.NewManifest("lbsim", "warp")
+	if _, err := Run(m, nil); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	m = obs.NewManifest("lbsim", obs.ModeMC)
+	m.Policy = obs.PolicyRef{Name: "lbp2"}
+	if _, err := Run(m, nil); err == nil {
+		t.Fatal("missing system ref accepted")
+	}
+	m.System = &obs.SystemRef{ProcRate: []float64{1}, FailRate: []float64{1, 2}, RecRate: []float64{1}}
+	if _, err := Run(m, nil); err == nil {
+		t.Fatal("mismatched rate vectors accepted")
+	}
+	m = obs.NewManifest("lbserve", obs.ModeServe)
+	m.Policy = obs.PolicyRef{Name: "quantum"}
+	if _, err := Run(m, nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

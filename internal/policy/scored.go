@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"churnlb/internal/model"
+	"churnlb/internal/xrand"
+)
+
+// Candidate is one node a router considered for an arriving task, with
+// the router's own score for it (lower wins). The decision-trace bus
+// records candidate sets so a routing choice can be judged against the
+// alternatives the router actually looked at — not just the one it took.
+type Candidate struct {
+	Node  int
+	Score float64
+}
+
+// ScoredRouter is implemented by routers that can expose the candidate
+// set and scores behind each routing decision. RouteScored must be
+// observationally identical to Route: it returns the same node and
+// consumes exactly the same random draws for the same (view, params,
+// rng-state), so attaching a decision tracer never perturbs a fixed-seed
+// realisation — the bit-identity the obs-attached golden tests pin.
+// Candidates are appended to buf (a caller-provided scratch buffer,
+// reused across arrivals) and the filled slice is returned; it is only
+// valid until the next RouteScored call.
+type ScoredRouter interface {
+	Router
+	RouteScored(v model.StateView, p model.Params, rng *xrand.Rand, buf []Candidate) (int, []Candidate)
+}
+
+// ExpectedWork returns the expected completion delay of a task joining
+// node i in state (queue, up): the queue ahead of it (plus itself) over
+// the node's availability-discounted throughput, plus the expected
+// remaining recovery time 1/λr when the node is down. This is exactly
+// the LeastExpectedWork routing score, exported so the decision-trace
+// bus prices every counterfactual candidate with the same arithmetic
+// the churn-aware router uses.
+//
+//churnlb:hotpath
+func ExpectedWork(i, queue int, up bool, p model.Params) float64 {
+	w := float64(queue+1) / p.EffectiveRate(i)
+	if !up && p.RecRate[i] > 0 {
+		w += 1 / p.RecRate[i]
+	}
+	return w
+}
+
+// RouteScored implements ScoredRouter: the rotation consults only its
+// own counter, so the candidate set is the chosen node alone.
+//
+//churnlb:hotpath
+func (r *RoundRobin) RouteScored(v model.StateView, p model.Params, rng *xrand.Rand, buf []Candidate) (int, []Candidate) {
+	i := r.Route(v, p, rng)
+	return i, append(buf, Candidate{Node: i, Score: 0})
+}
+
+// RouteScored implements ScoredRouter: every node is a candidate with
+// its queue length as the score. The scan reproduces Route's pick
+// exactly (shortest queue, lowest index on ties — the same argmin the
+// incremental index maintains).
+//
+//churnlb:hotpath
+func (JSQ) RouteScored(v model.StateView, _ model.Params, _ *xrand.Rand, buf []Candidate) (int, []Candidate) {
+	best := 0
+	for i := 0; i < v.N(); i++ {
+		q := v.Queue(i)
+		if q < v.Queue(best) {
+			best = i
+		}
+		buf = append(buf, Candidate{Node: i, Score: float64(q)})
+	}
+	return best, buf
+}
+
+// RouteScored implements ScoredRouter: the D sampled nodes are the
+// candidates, drawn with exactly the rng calls Route makes.
+//
+//churnlb:hotpath
+func (r PowerOfD) RouteScored(v model.StateView, p model.Params, rng *xrand.Rand, buf []Candidate) (int, []Candidate) {
+	n := p.N()
+	best := rng.Intn(n)
+	buf = append(buf, Candidate{Node: best, Score: float64(v.Queue(best))})
+	for d := 1; d < r.choices(); d++ {
+		c := rng.Intn(n)
+		buf = append(buf, Candidate{Node: c, Score: float64(v.Queue(c))})
+		if v.Queue(c) < v.Queue(best) {
+			best = c
+		}
+	}
+	return best, buf
+}
+
+// RouteScored implements ScoredRouter: candidates carry the
+// expected-delay score. D = 0 scans (and reports) every node — the same
+// strict less-than argmin as Route's scan and the incremental index —
+// while D > 0 reports the sampled set, drawn with exactly the rng calls
+// Route makes.
+//
+//churnlb:hotpath
+func (r LeastExpectedWork) RouteScored(v model.StateView, p model.Params, rng *xrand.Rand, buf []Candidate) (int, []Candidate) {
+	n := p.N()
+	if r.D <= 0 {
+		best := 0
+		bestW := r.score(0, v.Queue(0), v.Up(0), p)
+		buf = append(buf, Candidate{Node: 0, Score: bestW})
+		for i := 1; i < n; i++ {
+			w := r.score(i, v.Queue(i), v.Up(i), p)
+			buf = append(buf, Candidate{Node: i, Score: w})
+			if w < bestW {
+				best, bestW = i, w
+			}
+		}
+		return best, buf
+	}
+	best := rng.Intn(n)
+	bestW := r.score(best, v.Queue(best), v.Up(best), p)
+	buf = append(buf, Candidate{Node: best, Score: bestW})
+	for d := 1; d < r.D; d++ {
+		c := rng.Intn(n)
+		w := r.score(c, v.Queue(c), v.Up(c), p)
+		buf = append(buf, Candidate{Node: c, Score: w})
+		if w < bestW {
+			best, bestW = c, w
+		}
+	}
+	return best, buf
+}

@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"churnlb/internal/xrand"
+)
+
+// scoredRouters lists every ScoredRouter implementation under the
+// Route-equivalence contract.
+func scoredRouters() map[string]ScoredRouter {
+	return map[string]ScoredRouter{
+		"rr":   NewRoundRobin(),
+		"jsq":  JSQ{},
+		"pod2": PowerOfD{D: 2},
+		"pod3": PowerOfD{D: 3},
+		"lew":  LeastExpectedWork{},
+		"lew3": LeastExpectedWork{D: 3},
+	}
+}
+
+// freshRouter rebuilds a router by name (RoundRobin is stateful, so the
+// Route and RouteScored sides each need their own instance).
+func freshRouter(name string) ScoredRouter {
+	return scoredRouters()[name]
+}
+
+// TestRouteScoredMatchesRoute pins the bit-exactness contract of the
+// decision bus: RouteScored must pick the node Route picks AND consume
+// exactly the same random draws, for every router, over many states.
+func TestRouteScoredMatchesRoute(t *testing.T) {
+	names := make([]string, 0, len(scoredRouters()))
+	for name := range scoredRouters() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			plain, scored := freshRouter(name), freshRouter(name)
+			r1, r2 := xrand.New(99), xrand.New(99)
+			gen := xrand.New(7)
+			var buf []Candidate
+			for trial := 0; trial < 300; trial++ {
+				n := 2 + gen.Intn(9)
+				queues := make([]int, n)
+				up := make([]bool, n)
+				for i := range queues {
+					queues[i] = gen.Intn(50)
+					up[i] = gen.Intn(4) != 0
+				}
+				v, p := routerState(queues, up)
+				want := plain.Route(v, p, r1)
+				var got int
+				got, buf = scored.RouteScored(v, p, r2, buf[:0])
+				if got != want {
+					t.Fatalf("trial %d: RouteScored -> %d, Route -> %d (queues %v up %v)", trial, got, want, queues, up)
+				}
+				// Same rng consumption: the streams must still be aligned.
+				if a, b := r1.Float64(), r2.Float64(); a != b {
+					t.Fatalf("trial %d: rng streams diverged after routing (%v vs %v)", trial, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestRouteScoredCandidates checks what each router reports: full-scan
+// routers score every node, sampled routers their d draws, round-robin
+// only its pick.
+func TestRouteScoredCandidates(t *testing.T) {
+	v, p := routerState([]int{4, 0, 7, 2, 9}, nil)
+	rng := xrand.New(3)
+
+	_, cands := (JSQ{}).RouteScored(v, p, rng, nil)
+	if len(cands) != 5 {
+		t.Fatalf("JSQ scored %d candidates, want all 5", len(cands))
+	}
+	for _, c := range cands {
+		if c.Score != float64(v.Queue(c.Node)) {
+			t.Fatalf("JSQ candidate %d score %v, want queue %d", c.Node, c.Score, v.Queue(c.Node))
+		}
+	}
+
+	_, cands = (LeastExpectedWork{}).RouteScored(v, p, rng, nil)
+	if len(cands) != 5 {
+		t.Fatalf("LEW scored %d candidates, want all 5", len(cands))
+	}
+	for _, c := range cands {
+		if want := ExpectedWork(c.Node, v.Queue(c.Node), v.Up(c.Node), p); c.Score != want {
+			t.Fatalf("LEW candidate %d score %v, want ExpectedWork %v", c.Node, c.Score, want)
+		}
+	}
+
+	_, cands = (PowerOfD{D: 2}).RouteScored(v, p, rng, nil)
+	if len(cands) != 2 {
+		t.Fatalf("PowerOfD{2} scored %d candidates, want 2", len(cands))
+	}
+
+	_, cands = NewRoundRobin().RouteScored(v, p, rng, nil)
+	if len(cands) != 1 || cands[0].Node != 0 {
+		t.Fatalf("RoundRobin candidates %v, want its single pick node 0", cands)
+	}
+}
+
+// TestExpectedWorkMatchesLEWScore pins the shared pricing: the exported
+// ExpectedWork must be bit-identical to the score LeastExpectedWork
+// routes by, including the recovery surcharge for down nodes.
+func TestExpectedWorkMatchesLEWScore(t *testing.T) {
+	r := LeastExpectedWork{}
+	gen := xrand.New(17)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + gen.Intn(6)
+		queues := make([]int, n)
+		up := make([]bool, n)
+		for i := range queues {
+			queues[i] = gen.Intn(40)
+			up[i] = gen.Intn(3) != 0
+		}
+		v, p := routerState(queues, up)
+		for i := 0; i < n; i++ {
+			got := ExpectedWork(i, v.Queue(i), v.Up(i), p)
+			want := r.score(i, v.Queue(i), v.Up(i), p)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("node %d (q=%d up=%v): ExpectedWork %v, score %v", i, queues[i], up[i], got, want)
+			}
+		}
+	}
+}

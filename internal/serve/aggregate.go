@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"churnlb/internal/metrics"
+	"churnlb/internal/stats"
+)
+
+// Pooled aggregates a RunMany sweep: per-replication summary statistics
+// folded in replication order, plus the pooled latency sketches and the
+// exact pooled fairness tally. It is the single aggregation path shared
+// by the public churnlb.ServeMany and the run-manifest reproducer, so a
+// manifest replay cannot drift from the CLI that wrote it.
+type Pooled struct {
+	// Reps is the number of replications run; N the number that completed
+	// at least one task (the latency sample count — an empty realisation
+	// has no percentile).
+	Reps, N int
+	// P50, P99, Throughput and Availability summarise the per-replication
+	// whole-run values. Throughput and Availability fold in every
+	// replication; P50 and P99 skip empty ones.
+	P50, P99, Throughput, Availability stats.Summary
+	// Latency is the pairwise merge, in replication order, of every
+	// replication's P² sketches — the pooled task population's
+	// percentiles, bit-identical for any worker count.
+	Latency metrics.LatencySketch
+	// Fairness is the elementwise sum of every replication's per-node
+	// completed-work tally; its Jain() is the pooled fairness index.
+	Fairness metrics.Fairness
+}
+
+// RunManyPooled executes reps replications of opt (Workers goroutines;
+// 0 = GOMAXPROCS) and folds them into a Pooled aggregate. Deterministic
+// for a given opt.Seed regardless of worker count.
+func RunManyPooled(opt Options, reps, workers int) (*Pooled, error) {
+	// Each replication keeps only its summary scalars, latency sketches
+	// and fairness tally, rep-indexed for worker-count-independent
+	// folding; the full Result (windows, per-node counters) is released
+	// as it is visited.
+	type repStats struct {
+		completed            int
+		p50, p99, thr, avail float64
+		latency              metrics.LatencySketch
+		fairness             metrics.Fairness
+	}
+	perRep := make([]repStats, reps)
+	err := RunMany(opt, reps, workers, func(rep int, run *Result) {
+		perRep[rep] = repStats{
+			completed: run.Summary.Completed,
+			p50:       run.Summary.P50,
+			p99:       run.Summary.P99,
+			thr:       run.Summary.Throughput,
+			avail:     run.Summary.Availability,
+			latency:   run.Latency,
+			fairness:  run.Fairness,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := &Pooled{Reps: reps}
+	var p50, p99, thr, avail stats.Welford
+	sketches := make([]metrics.LatencySketch, reps)
+	for rep, r := range perRep {
+		sketches[rep] = r.latency
+		thr.Add(r.thr)
+		avail.Add(r.avail)
+		agg.Fairness.Merge(r.fairness)
+		if r.completed == 0 {
+			continue // an empty realisation has no latency sample
+		}
+		p50.Add(r.p50)
+		p99.Add(r.p99)
+	}
+	agg.N = p50.N()
+	agg.P50 = summary(&p50)
+	agg.P99 = summary(&p99)
+	agg.Throughput = summary(&thr)
+	agg.Availability = summary(&avail)
+	agg.Latency = PoolLatency(sketches)
+	return agg, nil
+}
+
+// summary freezes a Welford accumulator into the stats.Summary shape.
+func summary(w *stats.Welford) stats.Summary {
+	return stats.Summary{
+		N: w.N(), Mean: w.Mean(), Std: w.Std(), CI95: w.CI95(),
+		Min: w.Min(), Max: w.Max(),
+	}
+}
+
+// PoolLatency merges per-replication latency sketches pairwise —
+// adjacent pairs per round, in replication order, so the result does not
+// depend on which workers produced them. The input sketches are consumed.
+func PoolLatency(ls []metrics.LatencySketch) metrics.LatencySketch {
+	for len(ls) > 1 {
+		half := 0
+		for i := 0; i+1 < len(ls); i += 2 {
+			ls[i].Merge(ls[i+1])
+			ls[half] = ls[i]
+			half++
+		}
+		if len(ls)%2 == 1 {
+			ls[half] = ls[len(ls)-1]
+			half++
+		}
+		ls = ls[:half]
+	}
+	return ls[0]
+}

@@ -53,6 +53,16 @@ type Options struct {
 	EventQueue des.QueueKind
 	// Seed drives all randomness.
 	Seed uint64
+	// Instrument, when non-nil, is invoked once per realisation with the
+	// telemetry collector and returns the TaskObserver and DecisionSink
+	// to install in its place — the seam internal/obs's decision tracer
+	// plugs into (it wraps the collector, delegating every lifecycle hook,
+	// and matches completions back to routing decisions). Attaching an
+	// instrument never perturbs the realisation: the simulator consumes
+	// the same random stream either way. Single runs only — RunMany
+	// replications run concurrently and would interleave through one
+	// instrument's state, so it resets the hook.
+	Instrument func(inner sim.TaskObserver) (sim.TaskObserver, sim.DecisionSink)
 	// failurePlan, when non-nil, is the precomputed eq.-(8) plan shared
 	// across the replications of a RunMany sweep (plans depend only on
 	// Params and are immutable, so concurrent reads are safe). Single
@@ -69,6 +79,9 @@ type Result struct {
 	// Latency holds the run's sojourn-time percentile sketches, retained
 	// so replication aggregators can pool latency across runs.
 	Latency metrics.LatencySketch
+	// Fairness holds the run's per-node completed-work tally, retained so
+	// replication aggregators can pool the Jain index exactly across runs.
+	Fairness metrics.Fairness
 	// Sim is the underlying simulator result (completion time, churn and
 	// transfer counters, per-node processed counts).
 	Sim *sim.Result
@@ -95,6 +108,11 @@ func Run(opt Options) (*Result, error) {
 		router = opt.NewRouter()
 	}
 	col := metrics.NewCollector(opt.Params.N(), window)
+	var tobs sim.TaskObserver = col
+	var sink sim.DecisionSink
+	if opt.Instrument != nil {
+		tobs, sink = opt.Instrument(col)
+	}
 	out, err := sim.Run(sim.Options{
 		Params:         opt.Params,
 		Policy:         opt.Policy,
@@ -108,7 +126,8 @@ func Run(opt Options) (*Result, error) {
 		ArrivalHorizon: opt.Horizon,
 		ArrivalWave:    sim.Wave{Amplitude: opt.WaveAmplitude, Period: opt.WavePeriod},
 		Router:         router,
-		TaskObserver:   col,
+		TaskObserver:   tobs,
+		DecisionSink:   sink,
 		EventQueue:     opt.EventQueue,
 		FailurePlan:    opt.failurePlan,
 	})
@@ -116,10 +135,11 @@ func Run(opt Options) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Summary: col.Finalize(out.CompletionTime),
-		Windows: col.Windows(),
-		Latency: col.Sketches(),
-		Sim:     out,
+		Summary:  col.Finalize(out.CompletionTime),
+		Windows:  col.Windows(),
+		Latency:  col.Sketches(),
+		Fairness: col.FairnessCounts(),
+		Sim:      out,
 	}, nil
 }
 
@@ -150,6 +170,7 @@ func RunMany(opt Options, reps, workers int, visit func(rep int, r *Result)) err
 		o := opt
 		o.Seed = MixSeed(opt.Seed, rep)
 		o.failurePlan = plan
+		o.Instrument = nil // single-run hook: reps would interleave through it
 		r, err := Run(o)
 		if err != nil {
 			return err

@@ -1,5 +1,10 @@
 package sim
 
+import (
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+)
+
 // TaskObserver receives per-task lifecycle events and system state changes
 // from a running realisation — the telemetry hook behind the open-system
 // serving layer (internal/metrics implements it). The hook is strictly
@@ -29,6 +34,28 @@ type TaskObserver interface {
 	TransferDeparted(from, to, tasks int, t float64)
 	// TransferArrived reports tasks landing in to's queue at time t.
 	TransferArrived(to, tasks int, t float64)
+}
+
+// DecisionSink receives every external-arrival routing decision from a
+// running realisation — the decision-trace hook behind internal/obs. Like
+// TaskObserver it is strictly opt-in: with Options.DecisionSink nil the
+// simulator performs no candidate bookkeeping, consumes exactly the same
+// random stream, and fires exactly the same events, so fixed-seed
+// realisations stay bit-identical to untraced ones. With a sink installed
+// the routing choice itself is also unchanged: routers that implement
+// policy.ScoredRouter report their candidates through a call that is
+// observationally identical to Route, and routers that do not (or the
+// uniform default) are invoked exactly as before with a nil candidate set.
+//
+// Decision fires once per accepted external arrival, before the batch
+// mutates any state: v is the pre-arrival view the router saw, chosen the
+// destination node, batch the number of tasks about to join it, and
+// scored the router's own candidate set (nil for unscored routing). Both
+// v and scored are valid only for the duration of the call and must not
+// be retained. All calls come from the single simulation goroutine, in
+// event order; implementations must not call back into the simulator.
+type DecisionSink interface {
+	Decision(v model.StateView, chosen, batch int, scored []policy.Candidate)
 }
 
 // taskRec is the per-task lifecycle record maintained only when a

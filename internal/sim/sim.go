@@ -133,6 +133,13 @@ type Options struct {
 	// TaskObserver, when non-nil, receives per-task lifecycle events and
 	// state changes (see observer.go). nil costs nothing on the hot path.
 	TaskObserver TaskObserver
+	// DecisionSink, when non-nil, receives every external-arrival routing
+	// decision with the router's candidate set (see observer.go). Like
+	// TaskObserver it is strictly opt-in — nil costs nothing on the hot
+	// path — and attaching it never perturbs the realisation: scored
+	// routers consume the same random stream and return the same choice
+	// through RouteScored as through Route.
+	DecisionSink DecisionSink
 	// EventQueue selects the des scheduler's pending-event backend. The
 	// default des.QueueHeap is the reference binary heap; des.QueueCalendar
 	// is the amortised-O(1) calendar queue. Every backend fires the same
@@ -265,6 +272,13 @@ type simState struct {
 	// mirrors each queue with per-task lifecycle records.
 	obs   TaskObserver
 	taskq []taskQueue
+	// sink, sr and candBuf exist only when Options.DecisionSink is set:
+	// sr is the installed router's ScoredRouter capability (asserted once
+	// per run) and candBuf the reusable candidate scratch RouteScored
+	// appends into, so decision tracing allocates nothing per arrival.
+	sink    DecisionSink
+	sr      policy.ScoredRouter
+	candBuf []policy.Candidate
 }
 
 // Run executes one realisation and returns its Result.
@@ -356,10 +370,22 @@ func Run(opt Options) (*Result, error) {
 			s.fplan = fp.FailurePlan(opt.Params)
 		}
 	}
+	if opt.DecisionSink != nil {
+		s.sink = opt.DecisionSink
+		if opt.Router != nil {
+			if sr, ok := opt.Router.(policy.ScoredRouter); ok {
+				s.sr = sr
+			}
+		}
+	}
 	// An indexed router turns every Route into an O(1) argmin lookup; the
 	// index is skipped when tracing, where routers receive retainable
-	// snapshots and fall back to the reference scan.
-	if opt.Router != nil && !opt.Trace {
+	// snapshots and fall back to the reference scan, and on sink-scored
+	// runs, where RouteScored's reporting scan replaces Route entirely
+	// (the scan's argmin is the index's argmin, pinned by property tests,
+	// so the choice is unchanged — maintaining the index would be pure
+	// overhead).
+	if opt.Router != nil && !opt.Trace && s.sr == nil {
 		if ir, ok := opt.Router.(policy.IndexedRouter); ok {
 			if fn := ir.RouteScore(opt.Params); fn != nil {
 				s.scoreFn = fn
@@ -374,11 +400,13 @@ func Run(opt Options) (*Result, error) {
 	// node's unrealised up/down state: the churn law must be memoryless
 	// (discarding an unfired timer and redrawing on demand is then exactly
 	// the residual law), no trace or observer may record state changes,
-	// no router or arrival balancer may read Up(i) of an arbitrary node
-	// between events, and failure episodes must come from the precomputed
-	// plan (or a NoBalance policy), which never reads peer state.
+	// no router, arrival balancer or decision sink may read Up(i) of an
+	// arbitrary node between events, and failure episodes must come from
+	// the precomputed plan (or a NoBalance policy), which never reads peer
+	// state.
 	if opt.LazyChurn && opt.ChurnLaw == ChurnExponential && !opt.Trace &&
-		opt.TaskObserver == nil && opt.Router == nil && s.ab == nil {
+		opt.TaskObserver == nil && opt.Router == nil && s.ab == nil &&
+		opt.DecisionSink == nil {
 		_, noBal := opt.Policy.(policy.NoBalance)
 		if s.fplan != nil || noBal {
 			s.lazy = true
@@ -897,32 +925,47 @@ func (s *simState) externalArrival() {
 			return
 		}
 	}
-	// Untraced runs hand both the router and the arrival balancer the
-	// zero-copy live view. A traced run builds at most one fresh snapshot
-	// per arrival event: the router sees it pre-arrival, then the copy is
-	// adjusted in place for the balancer (a router may not retain its
-	// view, so the shared copy is safe to touch between the two calls —
-	// the balancer, which may retain it, gets it last).
+	// Untraced runs hand the router, the decision sink and the arrival
+	// balancer the zero-copy live view. A traced run builds at most one
+	// fresh snapshot per arrival event: the router and the sink see it
+	// pre-arrival, then the copy is adjusted in place for the balancer (a
+	// router or sink may not retain its view, so the shared copy is safe
+	// to touch between the calls — the balancer, which may retain it,
+	// gets it last).
 	var snap model.State
+	var v model.StateView = s.live
+	if s.opt.Trace && (s.opt.Router != nil || s.sink != nil) {
+		snap = s.snapshot()
+		v = model.SnapshotView{State: snap}
+	}
 	var node int
+	var cands []policy.Candidate
 	if s.opt.Router != nil {
-		var v model.StateView = s.live
-		if s.opt.Trace {
-			snap = s.snapshot()
-			v = model.SnapshotView{State: snap}
+		if s.sr != nil {
+			// Sink-scored routing: observationally identical to Route —
+			// same choice, same random draws — but reporting the candidate
+			// set into the reusable scratch buffer.
+			node, cands = s.sr.RouteScored(v, s.p, s.rng, s.candBuf[:0])
+			s.candBuf = cands
+		} else {
+			node = s.opt.Router.Route(v, s.p, s.rng)
 		}
-		node = s.opt.Router.Route(v, s.p, s.rng)
 		if node < 0 || node >= s.p.N() {
 			panic(fmt.Sprintf("sim: router %s returned invalid node %d", s.opt.Router.Name(), node))
 		}
 	} else {
 		node = s.rng.Intn(s.p.N())
 	}
-	s.lazyTouch(node) // resolve a detached target before reading its state
 	batch := s.opt.ArrivalBatch
 	if batch <= 0 {
 		batch = 1
 	}
+	if s.sink != nil {
+		// Pre-mutation: the sink prices counterfactual candidates against
+		// exactly the state the router decided on.
+		s.sink.Decision(v, node, batch, cands)
+	}
+	s.lazyTouch(node) // resolve a detached target before reading its state
 	s.queues[node] += batch
 	s.reindex(node)
 	s.remaining += batch
