@@ -52,25 +52,44 @@ type Benchmark struct {
 
 // Summary is the emitted JSON document.
 type Summary struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Procs is the GOMAXPROCS the run executed under, recovered from the
+	// benchmark-name suffix (absent means 1: go test only decorates names
+	// when GOMAXPROCS > 1). Scaling trends are only comparable between
+	// runs at the same value — a one-core CI container and an eight-core
+	// laptop produce legitimately different flat-gate ratios — so the
+	// trend lines carry it and the artifact records it.
+	Procs      int         `json:"gomaxprocs,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-// stripProcSuffix removes the trailing -GOMAXPROCS decoration (a dash
+// splitProcSuffix removes the trailing -GOMAXPROCS decoration (a dash
 // followed by digits only), leaving dashes inside benchmark or
-// sub-benchmark names intact.
-func stripProcSuffix(name string) string {
+// sub-benchmark names intact, and reports the parsed proc count (0 when
+// the name carries none).
+func splitProcSuffix(name string) (string, int) {
 	i := strings.LastIndex(name, "-")
 	if i <= 0 || i == len(name)-1 {
-		return name
+		return name, 0
 	}
 	for _, r := range name[i+1:] {
 		if r < '0' || r > '9' {
-			return name
+			return name, 0
 		}
 	}
-	return name[:i]
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return name, 0
+	}
+	return name[:i], procs
+}
+
+// stripProcSuffix is splitProcSuffix without the proc count.
+func stripProcSuffix(name string) string {
+	name, _ = splitProcSuffix(name)
+	return name
 }
 
 // parse reads `go test -bench` output and extracts benchmark lines.
@@ -87,6 +106,9 @@ func parse(r io.Reader) (Summary, error) {
 		case strings.HasPrefix(line, "goarch:"):
 			sum.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
+		case strings.HasPrefix(line, "cpu:"):
+			sum.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
 		case !strings.HasPrefix(line, "Benchmark"):
 			continue
 		}
@@ -98,8 +120,13 @@ func parse(r io.Reader) (Summary, error) {
 		if err != nil {
 			continue
 		}
+		name, procs := splitProcSuffix(fields[0])
+		if procs == 0 {
+			procs = 1 // go test omits the suffix when GOMAXPROCS is 1
+		}
+		sum.Procs = procs
 		b := Benchmark{
-			Name:       stripProcSuffix(fields[0]),
+			Name:       name,
 			Iterations: iters,
 			Metrics:    make(map[string]float64),
 		}
@@ -175,12 +202,20 @@ func sortedNames(families map[string][]trendPoint) []string {
 
 // perTaskTrends renders one line per benchmark family that reports
 // ns/task at several cluster sizes, sizes ascending — a flat line means
-// per-task cost independent of N.
+// per-task cost independent of N. Each line carries the run's GOMAXPROCS
+// (when the summary knows it): per-task trends and flat-gate ratios are
+// only comparable between runs on the same processor budget, and the
+// one-core CI container that gates this repo is not the many-core
+// machine a developer reads the numbers on.
 func perTaskTrends(sum Summary) []string {
 	families := taskFamilies(sum)
 	var out []string
 	for _, name := range sortedNames(families) {
-		line := name + " per-task:"
+		line := name + " per-task"
+		if sum.Procs > 0 {
+			line += fmt.Sprintf(" (GOMAXPROCS=%d)", sum.Procs)
+		}
+		line += ":"
 		for _, pt := range families[name] {
 			line += fmt.Sprintf("  N=%d %.0fns", pt.n, pt.ns)
 		}

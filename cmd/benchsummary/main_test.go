@@ -28,6 +28,12 @@ func TestParseBenchOutput(t *testing.T) {
 	if sum.Goos != "linux" || sum.Goarch != "amd64" {
 		t.Fatalf("goos/goarch %q/%q", sum.Goos, sum.Goarch)
 	}
+	if sum.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("cpu %q", sum.CPU)
+	}
+	if sum.Procs != 8 {
+		t.Fatalf("gomaxprocs %d, want 8 (from the -8 name suffix)", sum.Procs)
+	}
 	if len(sum.Benchmarks) != 2 {
 		t.Fatalf("benchmarks %d, want 2", len(sum.Benchmarks))
 	}
@@ -60,6 +66,29 @@ func TestPerTaskTrends(t *testing.T) {
 	want := "BenchmarkServeN per-task:  N=100 538ns  N=1000 765ns  N=10000 600ns"
 	if lines[0] != want {
 		t.Fatalf("trend line %q, want %q", lines[0], want)
+	}
+	// A summary that knows its GOMAXPROCS annotates the trend line with
+	// it, so scaling numbers are interpretable across machines (the
+	// one-core CI container vs a many-core laptop).
+	sum.Procs = 1
+	lines = perTaskTrends(sum)
+	want = "BenchmarkServeN per-task (GOMAXPROCS=1):  N=100 538ns  N=1000 765ns  N=10000 600ns"
+	if lines[0] != want {
+		t.Fatalf("annotated trend line %q, want %q", lines[0], want)
+	}
+}
+
+func TestParseBareNamesMeanOneProc(t *testing.T) {
+	const oneProc = `goos: linux
+BenchmarkSimN1000   	       1	  55012345 ns/op	    100000 tasks/op
+PASS
+`
+	sum, err := parse(strings.NewReader(oneProc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Procs != 1 {
+		t.Fatalf("gomaxprocs %d, want 1 for undecorated names", sum.Procs)
 	}
 }
 

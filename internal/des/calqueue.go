@@ -13,23 +13,36 @@ package des
 // O(1) in the dense-timer regime (a churn-heavy simulation holding ~2n
 // memoryless timers) where the binary heap pays O(log n) sifts.
 //
+// Buckets are intrusive doubly-linked chains threaded through the event
+// records (next/prev fields) rather than slices of pointers. At the
+// populations this backend exists for (~2n live timers at N = 10⁵, a
+// working set far beyond L2) every level of indirection in a queue op is
+// a cache miss, and the realisation's per-event cost is dominated by
+// exactly those misses: a slice-of-slices layout pays slot header →
+// backing array → record on every touch, plus growslice churn in Push
+// and append cascades in resize. The intrusive chain pays only bucket
+// head → record: Push writes the head slot and the record it was already
+// writing, Remove unlinks in place, and resize rethreads chains without
+// allocating anything but the new head array.
+//
 // Bit-reproducibility: slot membership is decided purely by the integer
 // vb stored on the event at push (recomputed on resize), never by
 // comparing times against accumulated float bucket boundaries, so there
 // is no rounding drift to disagree with the scan. Because t -> vb is
 // monotone non-decreasing, an event in a later slot can never precede an
 // event in an earlier one, equal times always share a slot, and within a
-// slot the minimum is taken by exact (time, seq) comparison — the pop
-// order is therefore identical to the heap's for any schedule, whatever
-// width or bucket count the queue adapts to. The differential tests in
-// queue_diff_test.go enforce this against the heap oracle.
+// slot the minimum is taken by exact (time, seq) comparison — chain
+// order never decides a tie, so the pop order is identical to the
+// heap's for any schedule, whatever width or bucket count the queue
+// adapts to. The differential tests in queue_diff_test.go enforce this
+// against the heap oracle.
 type calQueue struct {
-	buckets [][]*event
-	mask    int64   // len(buckets)-1; len is a power of two
-	width   float64 // seconds of simulated time per bucket slot
-	vcur    int64   // scan position: the virtual bucket being drained
-	lastPop float64 // time of the most recently popped event
-	gap     float64 // EWMA of nonzero inter-pop gaps, drives width
+	buckets []*event // chain heads; intrusive via event.next/prev
+	mask    int64    // len(buckets)-1; len is a power of two
+	width   float64  // seconds of simulated time per bucket slot
+	vcur    int64    // scan position: the virtual bucket being drained
+	lastPop float64  // time of the most recently popped event
+	gap     float64  // EWMA of nonzero inter-pop gaps, drives width
 	count   int
 }
 
@@ -44,7 +57,7 @@ const calMaxVB = int64(1) << 62
 
 func newCalQueue() *calQueue {
 	return &calQueue{
-		buckets: make([][]*event, calMinBuckets),
+		buckets: make([]*event, calMinBuckets),
 		mask:    calMinBuckets - 1,
 		width:   1,
 	}
@@ -63,12 +76,27 @@ func (q *calQueue) vbOf(t float64) int64 {
 	return int64(f)
 }
 
+// link pushes e onto the head of its bucket chain. Chain position never
+// affects pop order (findMin takes the exact (time, seq) minimum over
+// the whole slot), so head insertion — the only O(1) spot — is safe.
+//
+//churnlb:hotpath
+func (q *calQueue) link(e *event) {
+	b := int(e.vb & q.mask)
+	head := q.buckets[b]
+	e.next = head
+	e.prev = nil
+	if head != nil {
+		head.prev = e
+	}
+	q.buckets[b] = e
+}
+
 //churnlb:hotpath
 func (q *calQueue) Push(e *event) {
 	e.vb = q.vbOf(e.time)
-	b := int(e.vb & q.mask)
-	e.index = len(q.buckets[b])
-	q.buckets[b] = append(q.buckets[b], e)
+	e.index = 0 // any non-negative value: "enqueued" for Handle.Active
+	q.link(e)
 	q.count++
 	if q.count > 2*len(q.buckets) {
 		q.resize(2 * len(q.buckets))
@@ -77,15 +105,15 @@ func (q *calQueue) Push(e *event) {
 
 //churnlb:hotpath
 func (q *calQueue) Remove(e *event) {
-	b := int(e.vb & q.mask)
-	bk := q.buckets[b]
-	last := len(bk) - 1
-	if e.index != last {
-		bk[e.index] = bk[last]
-		bk[e.index].index = e.index
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		q.buckets[int(e.vb&q.mask)] = e.next
 	}
-	bk[last] = nil
-	q.buckets[b] = bk[:last]
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	e.next, e.prev = nil, nil
 	e.index = -1
 	q.count--
 	if len(q.buckets) > calMinBuckets && q.count < len(q.buckets)/4 {
@@ -146,7 +174,7 @@ func (q *calQueue) findMin() (*event, int64) {
 	vcur := q.vcur
 	for i := 0; i < len(q.buckets); i++ {
 		var best *event
-		for _, e := range q.buckets[int(vcur&q.mask)] {
+		for e := q.buckets[int(vcur&q.mask)]; e != nil; e = e.next {
 			if e.vb == vcur && (best == nil || eventLess(e, best)) {
 				best = e
 			}
@@ -160,8 +188,8 @@ func (q *calQueue) findMin() (*event, int64) {
 	// beyond the scan position (a sparse tail). Fall back to a direct
 	// search over all live events and jump the scan to the winner.
 	var best *event
-	for _, bk := range q.buckets {
-		for _, e := range bk {
+	for _, head := range q.buckets {
+		for e := head; e != nil; e = e.next {
 			if best == nil || eventLess(e, best) {
 				best = e
 			}
@@ -175,23 +203,24 @@ func (q *calQueue) findMin() (*event, int64) {
 // near-head event per slot. Every event's virtual bucket is recomputed
 // under the new width and the scan position rejoins at the last popped
 // time — which bounds every live event's slot from below, since the
-// scheduler never pushes into the past.
+// scheduler never pushes into the past. The rebuild rethreads the
+// intrusive chains in place: its only allocation is the new head array.
 func (q *calQueue) resize(nb int) {
 	w := 2 * q.gap
 	if w <= 0 {
 		w = q.width
 	}
 	old := q.buckets
-	q.buckets = make([][]*event, nb)
+	q.buckets = make([]*event, nb)
 	q.mask = int64(nb) - 1
 	q.width = w
 	q.vcur = q.vbOf(q.lastPop)
-	for _, bk := range old {
-		for _, e := range bk {
+	for _, head := range old {
+		for e := head; e != nil; {
+			next := e.next
 			e.vb = q.vbOf(e.time)
-			b := int(e.vb & q.mask)
-			e.index = len(q.buckets[b])
-			q.buckets[b] = append(q.buckets[b], e)
+			q.link(e)
+			e = next
 		}
 	}
 }

@@ -6,6 +6,14 @@
 // driven by a deterministic random stream are bit-reproducible — on any
 // backend.
 //
+// Events fire either a captured closure (At/After) or, for the per-entity
+// processes that dominate a large simulation, an indexed (kind, arg) pair
+// routed through one scheduler-level dispatcher (AtIndexed/AfterIndexed +
+// SetDispatcher) — n entities need n zero closures. The loop itself is
+// decomposed into step primitives (HasPending, PeekNextTime, ProcessNext)
+// so a coordinator can drive several schedulers under one shared clock;
+// Run and RunUntil are thin loops over the primitives.
+//
 // Event records are pooled: a fired or cancelled event returns to a
 // per-scheduler free list and is reused by the next At/After call, so a
 // long run allocates a bounded number of records no matter how many events
@@ -31,15 +39,27 @@ type Handle struct {
 type event struct {
 	time float64
 	seq  uint64
-	fn   func()
+	// fn is the closure of a closure-scheduled event (At/After); nil for
+	// indexed events, which carry (kind, arg) and fire through the
+	// scheduler's dispatcher instead — no captured state, no allocation.
+	fn func()
 	// index is the event's position inside its queue backend — heap slot
-	// for the heap, position within the bucket for the calendar queue —
-	// and -1 once fired or cancelled.
+	// for the heap, 0 while enqueued for the calendar queue — and -1 once
+	// fired or cancelled (Handle.Active keys off the sign).
 	index int
 	// vb is the calendar queue's virtual bucket number (floor(time/width)
 	// under the queue's current width); unused by the heap.
-	vb    int64
-	owner *Scheduler
+	vb int64
+	// next and prev thread the event into its calendar-queue bucket chain
+	// (see calQueue: buckets are intrusive doubly-linked lists, so a push
+	// touches no cache line beyond the bucket head and this record, which
+	// the caller is writing anyway); unused by the heap.
+	next, prev *event
+	owner      *Scheduler
+	// kind and arg identify an indexed event (fn == nil): the dispatcher
+	// receives them verbatim. They pack into what was struct padding, so
+	// indexed capability costs closure events nothing.
+	kind, arg int32
 }
 
 // Cancel prevents the event from firing and removes it from the queue
@@ -56,6 +76,10 @@ func (h Handle) Active() bool {
 	return h.e != nil && h.e.index >= 0 && h.e.seq == h.seq
 }
 
+// eventSlabSize is the number of event records newEvent carves from one
+// backing array before allocating the next slab.
+const eventSlabSize = 256
+
 // Scheduler owns the simulation clock and the pending-event queue.
 type Scheduler struct {
 	now   float64
@@ -63,6 +87,11 @@ type Scheduler struct {
 	q     EventQueue
 	fired uint64
 	free  []*event // recycled records, reused by At
+	slab  []event  // unissued tail of the current allocation slab
+	// disp handles indexed events (AtIndexed/AfterIndexed): one dispatch
+	// function per scheduler replacing per-entity closures, so a
+	// simulation over n entities schedules without holding n closures.
+	disp func(kind, arg int32)
 }
 
 // New returns an empty scheduler at time 0 on the default (heap) backend.
@@ -84,10 +113,19 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // Len returns the number of live scheduled events.
 func (s *Scheduler) Len() int { return s.q.Len() }
 
-// At schedules fn at absolute time t, which must not precede the clock.
+// SetDispatcher installs the indexed-event handler: every event scheduled
+// through AtIndexed/AfterIndexed fires by calling fn(kind, arg). One
+// dispatch function serves the whole scheduler, so a simulation over n
+// entities needs no per-entity closures — the (kind, arg) pair rides the
+// pooled event record for free. Must be set before the first indexed
+// event fires; closure events (At/After) are unaffected.
+func (s *Scheduler) SetDispatcher(fn func(kind, arg int32)) { s.disp = fn }
+
+// schedule books a pooled record at absolute time t, which must not
+// precede the clock. The caller fills fn or (kind, arg).
 //
 //churnlb:hotpath
-func (s *Scheduler) At(t float64, fn func()) Handle {
+func (s *Scheduler) schedule(t float64) *event {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling into the past: %v < %v", t, s.now))
 	}
@@ -100,7 +138,16 @@ func (s *Scheduler) At(t float64, fn func()) Handle {
 	} else {
 		e = s.newEvent()
 	}
-	e.time, e.seq, e.fn = t, s.seq, fn
+	e.time, e.seq = t, s.seq
+	return e
+}
+
+// At schedules fn at absolute time t, which must not precede the clock.
+//
+//churnlb:hotpath
+func (s *Scheduler) At(t float64, fn func()) Handle {
+	e := s.schedule(t)
+	e.fn = fn
 	s.q.Push(e)
 	return Handle{e: e, seq: e.seq}
 }
@@ -115,28 +162,85 @@ func (s *Scheduler) After(d float64, fn func()) Handle {
 	return s.At(s.now+d, fn)
 }
 
-// Step fires the next pending event. It returns false when no events
-// remain.
+// AtIndexed schedules an indexed event at absolute time t: it fires as
+// dispatcher(kind, arg). Indexed and closure events share one sequence
+// and one queue, so interleaving them preserves the (time, seq) order.
 //
 //churnlb:hotpath
-func (s *Scheduler) Step() bool {
+func (s *Scheduler) AtIndexed(t float64, kind, arg int32) Handle {
+	e := s.schedule(t)
+	e.fn = nil
+	e.kind, e.arg = kind, arg
+	s.q.Push(e)
+	return Handle{e: e, seq: e.seq}
+}
+
+// AfterIndexed schedules an indexed event after delay d (d < 0 is clamped
+// to 0).
+//
+//churnlb:hotpath
+func (s *Scheduler) AfterIndexed(d float64, kind, arg int32) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtIndexed(s.now+d, kind, arg)
+}
+
+// --- step primitives ---
+//
+// HasPending, PeekNextTime and ProcessNext decompose the event loop into
+// the shared-clock primitives a multi-scheduler driver needs: a
+// coordinator holding several schedulers (one per shard or failure
+// domain) peeks every queue, picks the earliest next-event time, and
+// processes exactly one event there — global timestamp order without any
+// scheduler knowing about the others. Run and RunUntil are thin loops
+// over these primitives, so single-scheduler behavior is unchanged.
+
+// HasPending reports whether any scheduled event remains.
+//
+//churnlb:hotpath
+func (s *Scheduler) HasPending() bool { return s.q.Len() > 0 }
+
+// PeekNextTime returns the fire time of the next pending event without
+// processing it; ok is false when no events remain. Peeking never
+// advances the clock or commits any queue state.
+//
+//churnlb:hotpath
+func (s *Scheduler) PeekNextTime() (t float64, ok bool) { return s.q.MinTime() }
+
+// ProcessNext fires the next pending event, advancing the clock to its
+// time. It returns false when no events remain.
+//
+//churnlb:hotpath
+func (s *Scheduler) ProcessNext() bool {
 	e := s.q.PopMin()
 	if e == nil {
 		return false
 	}
 	s.now = e.time
 	s.fired++
-	fn := e.fn
+	if fn := e.fn; fn != nil {
+		s.recycle(e)
+		fn()
+		return true
+	}
+	kind, arg := e.kind, e.arg
 	s.recycle(e)
-	fn()
+	s.disp(kind, arg)
 	return true
 }
+
+// Step fires the next pending event. It returns false when no events
+// remain. (The historical name of ProcessNext, kept as an alias.)
+//
+//churnlb:hotpath
+func (s *Scheduler) Step() bool { return s.ProcessNext() }
 
 // RunUntil fires events until the predicate becomes true or the event
 // queue drains. It returns true if the predicate was satisfied.
 func (s *Scheduler) RunUntil(done func() bool) bool {
 	for !done() {
-		if !s.Step() {
+		if !s.ProcessNext() {
 			return done()
 		}
 	}
@@ -153,11 +257,11 @@ func (s *Scheduler) RunUntil(done func() bool) bool {
 // that keeps rescheduling itself at exactly tMax never terminates.
 func (s *Scheduler) Run(tMax float64) {
 	for {
-		t, ok := s.q.MinTime()
+		t, ok := s.PeekNextTime()
 		if !ok || t > tMax {
 			break
 		}
-		s.Step()
+		s.ProcessNext()
 	}
 	if s.now < tMax {
 		s.now = tMax
@@ -172,11 +276,23 @@ func (s *Scheduler) remove(e *event) {
 	s.recycle(e)
 }
 
-// newEvent allocates a fresh event record — the free-list miss path of
+// newEvent hands out a fresh event record — the free-list miss path of
 // At, kept out of the hot path so the steady state (every record
-// recycled) stays allocation-free.
+// recycled) stays allocation-free. Records are carved from slab arrays
+// rather than allocated one by one: a realisation that arms a timer per
+// node peaks at n live records, and n individual heap objects both
+// scatter the pointer-chasing queue scans across the heap and hand the
+// GC n times the objects to walk. A slab's records stay reachable (and
+// its memory live) via the free list for the scheduler's lifetime, which
+// is exactly the pool's retention policy anyway.
 func (s *Scheduler) newEvent() *event {
-	return &event{owner: s}
+	if len(s.slab) == 0 {
+		s.slab = make([]event, eventSlabSize)
+	}
+	e := &s.slab[0]
+	s.slab = s.slab[1:]
+	e.owner = s
+	return e
 }
 
 // recycle marks the record dead and returns it to the free list. The

@@ -38,7 +38,10 @@ type RouteScore func(i, queue int, up bool) float64
 // returns a non-nil RouteScore, the simulator keeps a score-keyed indexed
 // min-heap fresh across every queue and up/down mutation and exposes its
 // argmin through model.ScoreIndexed, turning each Route call from an O(n)
-// rescan into an O(1) lookup.
+// rescan into an O(1) lookup. Each node's heap slot lives inside the
+// simulator's packed per-node hot struct (sim's SoA layout) rather than a
+// side array, so the index refresh triggered by an event writes to cache
+// lines that event already touched.
 type IndexedRouter interface {
 	Router
 	// RouteScore returns the score to index for parameter set p, or nil

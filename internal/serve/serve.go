@@ -113,7 +113,14 @@ func Run(opt Options) (*Result, error) {
 	if opt.Instrument != nil {
 		tobs, sink = opt.Instrument(col)
 	}
-	out, err := sim.Run(sim.Options{
+	// The realisation is driven through the simulator's step primitives
+	// (Start, the peek/process loop, Finish) rather than the one-shot
+	// sim.Run: the serving layer is where a live coordinator — a
+	// shared-clock shard driver or an online dashboard — would hook in,
+	// and routing every serving run through the decomposed loop keeps the
+	// step API exercised by the entire serving test suite. The two forms
+	// are bit-identical by construction (sim.Run is this exact loop).
+	r, err := sim.Start(sim.Options{
 		Params:         opt.Params,
 		Policy:         opt.Policy,
 		InitialLoad:    load,
@@ -131,6 +138,15 @@ func Run(opt Options) (*Result, error) {
 		EventQueue:     opt.EventQueue,
 		FailurePlan:    opt.failurePlan,
 	})
+	if err != nil {
+		return nil, err
+	}
+	for !r.Done() {
+		if !r.ProcessNext() {
+			break
+		}
+	}
+	out, err := r.Finish()
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,7 @@ import (
 func TestScoreIndexRandomOps(t *testing.T) {
 	rng := xrand.NewStream(11, 3)
 	for _, n := range []int{1, 2, 3, 17, 128} {
-		x := newScoreIndex(n)
+		x := newScoreIndex(make([]nodeHot, n))
 		ref := make([]float64, n)
 		for op := 0; op < 4000; op++ {
 			i := rng.Intn(n)
@@ -162,23 +162,22 @@ func benchIndexedState(b *testing.B, n int, r policy.IndexedRouter) (*simState, 
 		RecRate:  make([]float64, n),
 	}
 	s := &simState{
-		p:      p,
-		sched:  des.New(),
-		queues: make([]int, n),
-		up:     make([]bool, n),
+		p:     p,
+		sched: des.New(),
+		hot:   make([]nodeHot, n),
 	}
 	for i := 0; i < n; i++ {
 		p.ProcRate[i] = 0.5 + 2*rng.Float64()
 		p.FailRate[i] = 0.01
 		p.RecRate[i] = 0.05
-		s.queues[i] = rng.Intn(50)
-		s.up[i] = rng.Float64() < 0.9
+		s.hot[i].queue = int32(rng.Intn(50))
+		s.hot[i].up = rng.Float64() < 0.9
 	}
 	s.live = &liveView{s}
 	s.scoreFn = r.RouteScore(p)
-	s.lidx = newScoreIndex(n)
+	s.lidx = newScoreIndex(s.hot)
 	for i := 0; i < n; i++ {
-		s.lidx.set(i, s.scoreFn(i, s.queues[i], s.up[i]))
+		s.lidx.set(i, s.scoreFn(i, s.queueOf(i), s.hot[i].up))
 	}
 	return s, rng
 }
@@ -191,7 +190,7 @@ func benchRouteIndexed(b *testing.B, n int, r policy.IndexedRouter) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		node := r.Route(s.live, s.p, rng)
-		s.queues[node]++
+		s.hot[node].queue++
 		s.reindex(node)
 	}
 }

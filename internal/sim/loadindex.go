@@ -9,26 +9,29 @@ package sim
 // set is O(log n), min is O(1). The simulator calls set at every queue or
 // up/down mutation — external arrival, completion, transfer departure and
 // arrival, failure, recovery — so a Route call never rescans the cluster.
-// Positions are int32: a heap over two billion nodes would not fit memory
-// long before the index type mattered, and the narrower entries keep the
-// sift paths in cache.
+// The node→position map lives in the simulator's hot array (nodeHot.heapPos,
+// int32): the sift path's position writes then land on cache lines the
+// event handler that triggered the reindex already owns, and a heap over
+// two billion nodes would not fit memory long before the index type
+// mattered.
 type scoreIndex struct {
 	score []float64 // score[node] = current routing score
 	heap  []int32   // heap[k] = node at heap position k
-	pos   []int32   // pos[node] = position of node in heap
+	hot   []nodeHot // hot[node].heapPos = position of node in heap
 }
 
-// newScoreIndex returns an index over n nodes with all scores zero (the
-// caller seeds real scores with set before first use).
-func newScoreIndex(n int) *scoreIndex {
+// newScoreIndex returns an index over the run's hot array with all scores
+// zero, claiming each node's heapPos slot (the caller seeds real scores
+// with set before first use).
+func newScoreIndex(hot []nodeHot) *scoreIndex {
 	x := &scoreIndex{
-		score: make([]float64, n),
-		heap:  make([]int32, n),
-		pos:   make([]int32, n),
+		score: make([]float64, len(hot)),
+		heap:  make([]int32, len(hot)),
+		hot:   hot,
 	}
-	for i := 0; i < n; i++ {
+	for i := range hot {
 		x.heap[i] = int32(i)
-		x.pos[i] = int32(i)
+		hot[i].heapPos = int32(i)
 	}
 	return x
 }
@@ -50,8 +53,8 @@ func (x *scoreIndex) set(node int, s float64) {
 		return
 	}
 	x.score[node] = s
-	x.siftUp(int(x.pos[node]))
-	x.siftDown(int(x.pos[node]))
+	x.siftUp(int(x.hot[node].heapPos))
+	x.siftDown(int(x.hot[node].heapPos))
 }
 
 // min returns the node with the smallest (score, index) pair in O(1).
@@ -94,6 +97,6 @@ func (x *scoreIndex) siftDown(k int) {
 //churnlb:hotpath
 func (x *scoreIndex) swap(a, b int) {
 	x.heap[a], x.heap[b] = x.heap[b], x.heap[a]
-	x.pos[x.heap[a]] = int32(a)
-	x.pos[x.heap[b]] = int32(b)
+	x.hot[x.heap[a]].heapPos = int32(a)
+	x.hot[x.heap[b]].heapPos = int32(b)
 }

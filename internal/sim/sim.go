@@ -217,35 +217,45 @@ var indexHook func(indexed, scanned int)
 // outside single-goroutine tests.
 var failurePlanHook func(failed int, planned, naive []model.Transfer)
 
+// soaHook, when non-nil, receives the packed hot array after every event.
+// Tests install it to prove the struct-of-arrays layout stays equal,
+// field by field, to a naive array-of-slices mirror maintained purely
+// from observer callbacks; it must be nil outside single-goroutine tests.
+var soaHook func(hot []nodeHot)
+
+// Per-node dispatch kinds: the simulator's three node processes fire
+// through des's indexed-event dispatcher with the node index as arg, so a
+// run holds zero per-node closures (previously 3n, one per process per
+// node — a quarter of the per-node footprint and a scattered heap of
+// funcval allocations the garbage collector had to trace).
+const (
+	evKindComplete int32 = iota
+	evKindFail
+	evKindRecover
+	evKindArrival // the Poisson arrival tick; arg unused
+)
+
 type simState struct {
-	opt      Options
-	p        model.Params
-	sched    *des.Scheduler
-	rng      *xrand.Rand
-	up       []bool
-	queues   []int
+	opt   Options
+	p     model.Params
+	sched *des.Scheduler
+	rng   *xrand.Rand
+	// hot is the struct-of-arrays hot split: every per-node field the
+	// event loop touches per event, one packed struct per node (see
+	// nodeHot). Cold per-node state — task-lifecycle mirrors, trace
+	// scratch, the retainable snapshots of traced runs — lives outside
+	// it and is materialized only on the opt-in paths that need it.
+	hot      []nodeHot
 	inFlight int
 	// remaining is queued plus in-flight tasks, maintained incrementally:
 	// it only changes at completions (-1) and external arrivals (+batch);
 	// transfers move tasks between a queue and flight without changing it.
 	remaining int
 	res       *Result
-	// complTimer holds each node's outstanding completion timer, so stale
-	// timers are cancelled eagerly (failure, queue shipped away) instead of
-	// firing as epoch-checked no-ops.
-	complTimer []des.Handle
-	// lazy marks a run with lazy churn timers (Options.LazyChurn granted).
-	// churnTimer then holds each node's pending churn timer (failure while
-	// up, recovery while down) so it can be cancelled when the node goes
-	// idle, and lazyFrom the time up to which an idle node's churn process
-	// has been realised; lazyTouch resolves the gap on demand.
-	lazy       bool
-	churnTimer []des.Handle
-	lazyFrom   []float64
-	// complFn/failFn/recFn are the per-node process closures, allocated
-	// once so the event loop schedules without allocating.
-	complFn, failFn, recFn []func()
-	arriveFn               func()
+	// lazy marks a run with lazy churn timers (Options.LazyChurn granted):
+	// hot[i].churnTimer and hot[i].lazyFrom are then live, and lazyTouch
+	// resolves a detached node's unrealised churn on demand.
+	lazy bool
 	// live is the zero-copy StateView handed to routers and policy
 	// callbacks, built once per run so neither allocates anything.
 	live model.StateView
@@ -281,8 +291,40 @@ type simState struct {
 	candBuf []policy.Candidate
 }
 
-// Run executes one realisation and returns its Result.
+// Run executes one realisation and returns its Result: Start, a loop
+// over the step primitives, Finish.
 func Run(opt Options) (*Result, error) {
+	r, err := Start(opt)
+	if err != nil {
+		return nil, err
+	}
+	for !r.Done() {
+		if !r.ProcessNext() {
+			break
+		}
+	}
+	return r.Finish()
+}
+
+// Realisation is one in-progress realisation exposed through step
+// primitives — the shared-clock decomposition of the event loop. A
+// driver peeks the next event time, processes exactly one event, and
+// checks the termination predicate itself, which is what a sharded
+// realisation (one Realisation per failure domain under a conservative
+// time-window sync) or a live-state observer needs; Run is the thin
+// single-realisation loop over the same calls. A Realisation is
+// single-goroutine and single-use: drive it to Done (or to a drained
+// queue) and call Finish exactly once.
+type Realisation struct {
+	s *simState
+}
+
+// Start validates opt, builds the realisation's state — the hot array,
+// the load index, the failure plan, the initial balancing transfers —
+// and arms every per-node process, leaving the clock at the first
+// pending event. It consumes randomness only as far as arming does, so
+// Start + step loop + Finish replays exactly the stream Run consumes.
+func Start(opt Options) (*Realisation, error) {
 	if err := opt.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -293,6 +335,9 @@ func Run(opt Options) (*Result, error) {
 	for i, q := range opt.InitialLoad {
 		if q < 0 {
 			return nil, fmt.Errorf("sim: negative initial load %d at node %d", q, i)
+		}
+		if q > math.MaxInt32 {
+			return nil, fmt.Errorf("sim: initial load %d at node %d exceeds the %d per-queue cap", q, i, math.MaxInt32)
 		}
 	}
 	if opt.InitialUp != nil && len(opt.InitialUp) != n {
@@ -332,23 +377,18 @@ func Run(opt Options) (*Result, error) {
 	}
 
 	s := &simState{
-		opt:        opt,
-		p:          opt.Params,
-		sched:      des.NewWithQueue(opt.EventQueue),
-		rng:        opt.Rand,
-		up:         make([]bool, n),
-		queues:     append([]int(nil), opt.InitialLoad...),
-		complTimer: make([]des.Handle, n),
-		complFn:    make([]func(), n),
-		failFn:     make([]func(), n),
-		recFn:      make([]func(), n),
-		res:        &Result{Processed: make([]int, n)},
+		opt:   opt,
+		p:     opt.Params,
+		sched: des.NewWithQueue(opt.EventQueue),
+		rng:   opt.Rand,
+		hot:   make([]nodeHot, n),
+		res:   &Result{Processed: make([]int, n)},
 	}
-	for i := range s.up {
-		s.up[i] = opt.InitialUp == nil || opt.InitialUp[i]
-	}
-	for _, q := range s.queues {
-		s.remaining += q
+	s.sched.SetDispatcher(s.dispatch)
+	for i := range s.hot {
+		s.hot[i].queue = int32(opt.InitialLoad[i])
+		s.hot[i].up = opt.InitialUp == nil || opt.InitialUp[i]
+		s.remaining += opt.InitialLoad[i]
 	}
 	s.live = &liveView{s}
 	if ab, ok := opt.Policy.(policy.ArrivalBalancer); ok {
@@ -389,9 +429,9 @@ func Run(opt Options) (*Result, error) {
 		if ir, ok := opt.Router.(policy.IndexedRouter); ok {
 			if fn := ir.RouteScore(opt.Params); fn != nil {
 				s.scoreFn = fn
-				s.lidx = newScoreIndex(n)
+				s.lidx = newScoreIndex(s.hot)
 				for i := 0; i < n; i++ {
-					s.lidx.set(i, fn(i, s.queues[i], s.up[i]))
+					s.lidx.set(i, fn(i, s.queueOf(i), s.hot[i].up))
 				}
 			}
 		}
@@ -410,30 +450,23 @@ func Run(opt Options) (*Result, error) {
 		_, noBal := opt.Policy.(policy.NoBalance)
 		if s.fplan != nil || noBal {
 			s.lazy = true
-			s.churnTimer = make([]des.Handle, n)
-			s.lazyFrom = make([]float64, n)
 		}
 	}
 	if opt.TaskObserver != nil {
 		s.obs = opt.TaskObserver
 		s.taskq = make([]taskQueue, n)
-		for i, q := range s.queues {
+		for i := range s.hot {
+			q := s.queueOf(i)
 			for t := 0; t < q; t++ {
 				s.taskq[i].push(taskRec{arrival: 0, firstService: -1})
 			}
 			if q > 0 {
 				s.obs.TasksArrived(i, q, 0)
 			}
-			if !s.up[i] {
+			if !s.hot[i].up {
 				s.obs.NodeStateChanged(i, false, 0)
 			}
 		}
-	}
-	for i := 0; i < n; i++ {
-		i := i
-		s.complFn[i] = func() { s.complete(i) }
-		s.failFn[i] = func() { s.fail(i) }
-		s.recFn[i] = func() { s.recover(i) }
 	}
 	s.trace(EvStart, -1)
 
@@ -443,10 +476,10 @@ func Run(opt Options) (*Result, error) {
 	// Arm per-node processes. A lazy run leaves idle nodes detached: their
 	// churn process stays unrealised (lazyFrom = 0) until work arrives.
 	for i := 0; i < n; i++ {
-		if s.lazy && s.queues[i] == 0 {
+		if s.lazy && s.hot[i].queue == 0 {
 			continue
 		}
-		if s.up[i] {
+		if s.hot[i].up {
 			s.scheduleCompletion(i)
 			s.scheduleFailure(i)
 		} else {
@@ -455,19 +488,64 @@ func Run(opt Options) (*Result, error) {
 	}
 	if opt.ArrivalRate > 0 {
 		s.arrivalsOpen = true
-		s.arriveFn = func() { s.externalArrival() }
 		s.scheduleArrival()
 	}
+	return &Realisation{s: s}, nil
+}
 
-	done := func() bool {
-		if s.remaining == 0 && !s.pendingArrivals() {
-			return true
-		}
-		return opt.MaxTime > 0 && s.sched.Now() >= opt.MaxTime
+// dispatch routes every indexed event — the three per-node processes and
+// the arrival tick — to its handler: the one dispatch point replacing 3n
+// per-node closures.
+//
+//churnlb:hotpath
+func (s *simState) dispatch(kind, arg int32) {
+	switch kind {
+	case evKindComplete:
+		s.complete(int(arg))
+	case evKindFail:
+		s.fail(int(arg))
+	case evKindRecover:
+		s.recover(int(arg))
+	default:
+		s.externalArrival()
 	}
-	s.sched.RunUntil(done)
-	if opt.MaxTime > 0 && s.remaining > 0 {
-		return nil, fmt.Errorf("sim: aborted at MaxTime=%v with %d tasks remaining", opt.MaxTime, s.remaining)
+}
+
+// HasPending reports whether any scheduled event remains.
+func (r *Realisation) HasPending() bool { return r.s.sched.HasPending() }
+
+// PeekNextTime returns the fire time of the next pending event without
+// processing it; ok is false when the queue has drained. A shared-clock
+// coordinator compares this across realisations to pick which one
+// advances next.
+func (r *Realisation) PeekNextTime() (t float64, ok bool) { return r.s.sched.PeekNextTime() }
+
+// ProcessNext fires exactly one event, advancing the clock to its time.
+// It returns false when the queue has drained.
+func (r *Realisation) ProcessNext() bool { return r.s.sched.ProcessNext() }
+
+// Now returns the realisation's clock.
+func (r *Realisation) Now() float64 { return r.s.sched.Now() }
+
+// Done reports the termination predicate Run loops on: the workload has
+// drained with no arrivals still open, or MaxTime was reached. Drivers
+// must check it before every ProcessNext — with external arrivals the
+// scheduler never drains on its own (the arrival process keeps ticking
+// past the horizon).
+func (r *Realisation) Done() bool {
+	s := r.s
+	if s.remaining == 0 && !s.pendingArrivals() {
+		return true
+	}
+	return s.opt.MaxTime > 0 && s.sched.Now() >= s.opt.MaxTime
+}
+
+// Finish closes the realisation and returns its Result. Call it exactly
+// once, after the step loop stopped on Done or on a drained queue.
+func (r *Realisation) Finish() (*Result, error) {
+	s := r.s
+	if s.opt.MaxTime > 0 && s.remaining > 0 {
+		return nil, fmt.Errorf("sim: aborted at MaxTime=%v with %d tasks remaining", s.opt.MaxTime, s.remaining)
 	}
 	if s.lazy {
 		// Realise every detached node's churn up to the last event, so the
@@ -475,8 +553,8 @@ func Run(opt Options) (*Result, error) {
 		// observes (armed nodes' pending timers lie beyond it, exactly like
 		// eager timers that never fire).
 		end := s.sched.Now()
-		for i := range s.queues {
-			if !s.churnTimer[i].Active() {
+		for i := range s.hot {
+			if !s.hot[i].churnTimer.Active() {
 				s.lazyResolve(i, end)
 			}
 		}
@@ -487,22 +565,26 @@ func Run(opt Options) (*Result, error) {
 }
 
 // liveView is the zero-copy model.StateView over the running realisation:
-// its accessors read the simulator's working arrays directly, so handing
-// it to a router costs nothing regardless of cluster size. It is valid
-// only for the duration of a callback — the arrays mutate at every event.
+// its accessors read the simulator's hot array directly, so handing it to
+// a router costs nothing regardless of cluster size. It is valid only for
+// the duration of a callback — the array mutates at every event.
 type liveView struct{ s *simState }
 
 // Time implements model.StateView.
 func (v *liveView) Time() float64 { return v.s.sched.Now() }
 
 // N implements model.StateView.
-func (v *liveView) N() int { return len(v.s.queues) }
+func (v *liveView) N() int { return len(v.s.hot) }
 
 // Queue implements model.StateView.
-func (v *liveView) Queue(i int) int { return v.s.queues[i] }
+//
+//churnlb:hotpath
+func (v *liveView) Queue(i int) int { return v.s.queueOf(i) }
 
 // Up implements model.StateView.
-func (v *liveView) Up(i int) bool { return v.s.up[i] }
+//
+//churnlb:hotpath
+func (v *liveView) Up(i int) bool { return v.s.hot[i].up }
 
 // InFlight implements model.StateView.
 func (v *liveView) InFlight() int { return v.s.inFlight }
@@ -522,7 +604,7 @@ func (v *liveView) MinScoreNode() (int, bool) {
 //churnlb:hotpath
 func (s *simState) reindex(i int) {
 	if s.lidx != nil {
-		s.lidx.set(i, s.scoreFn(i, s.queues[i], s.up[i]))
+		s.lidx.set(i, s.scoreFn(i, s.queueOf(i), s.hot[i].up))
 	}
 }
 
@@ -531,9 +613,9 @@ func (s *simState) reindex(i int) {
 // the index-vs-scan equivalence test.
 func (s *simState) scanMinScore() int {
 	best := 0
-	bestW := s.scoreFn(0, s.queues[0], s.up[0])
-	for i := 1; i < len(s.queues); i++ {
-		if w := s.scoreFn(i, s.queues[i], s.up[i]); w < bestW {
+	bestW := s.scoreFn(0, s.queueOf(0), s.hot[0].up)
+	for i := 1; i < len(s.hot); i++ {
+		if w := s.scoreFn(i, s.queueOf(i), s.hot[i].up); w < bestW {
 			best, bestW = i, w
 		}
 	}
@@ -545,8 +627,8 @@ func (s *simState) scanMinScore() int {
 // implementation for the accounting regression test.
 func (s *simState) scanRemaining() int {
 	t := s.inFlight
-	for _, q := range s.queues {
-		t += q
+	for i := range s.hot {
+		t += int(s.hot[i].queue)
 	}
 	return t
 }
@@ -562,8 +644,8 @@ func (s *simState) pendingArrivals() bool {
 func (s *simState) snapshot() model.State {
 	return model.State{
 		Time:          s.sched.Now(),
-		Queues:        append([]int(nil), s.queues...),
-		Up:            append([]bool(nil), s.up...),
+		Queues:        s.copyQueues(),
+		Up:            s.copyUp(),
 		InFlightTasks: s.inFlight,
 	}
 }
@@ -584,6 +666,9 @@ func (s *simState) trace(kind EventKind, node int) {
 	if indexHook != nil && s.lidx != nil {
 		indexHook(s.lidx.min(), s.scanMinScore())
 	}
+	if soaHook != nil {
+		soaHook(s.hot)
+	}
 	if !s.opt.Trace {
 		return
 	}
@@ -591,7 +676,7 @@ func (s *simState) trace(kind EventKind, node int) {
 		Time:   s.sched.Now(),
 		Kind:   kind,
 		Node:   node,
-		Queues: append([]int(nil), s.queues...),
+		Queues: s.copyQueues(),
 	})
 }
 
@@ -603,13 +688,14 @@ func (s *simState) trace(kind EventKind, node int) {
 //
 //churnlb:hotpath
 func (s *simState) scheduleCompletion(i int) {
-	s.complTimer[i].Cancel()
-	s.complTimer[i] = des.Handle{}
-	if !s.up[i] || s.queues[i] == 0 {
+	h := &s.hot[i]
+	h.complTimer.Cancel()
+	h.complTimer = des.Handle{}
+	if !h.up || h.queue == 0 {
 		return
 	}
 	d := s.rng.Exp(s.p.ProcRate[i])
-	s.complTimer[i] = s.sched.After(d, s.complFn[i])
+	h.complTimer = s.sched.AfterIndexed(d, evKindComplete, int32(i))
 	if s.obs != nil {
 		// The front task is (re)entering service; stamp its first
 		// service start if it has none yet.
@@ -621,13 +707,14 @@ func (s *simState) scheduleCompletion(i int) {
 
 //churnlb:hotpath
 func (s *simState) complete(i int) {
-	s.complTimer[i] = des.Handle{} // this timer just fired
-	if !s.up[i] || s.queues[i] == 0 {
+	h := &s.hot[i]
+	h.complTimer = des.Handle{} // this timer just fired
+	if !h.up || h.queue == 0 {
 		return // unreachable with eager cancellation; kept defensively
 	}
-	s.queues[i]--
+	h.queue--
 	s.reindex(i)
-	if s.queues[i] == 0 {
+	if h.queue == 0 {
 		s.lazyDisarm(i) // idle: the up node's failure timer detaches
 	}
 	s.res.Processed[i]++
@@ -655,10 +742,11 @@ func (s *simState) complete(i int) {
 //
 //churnlb:hotpath
 func (s *simState) lazyResolve(i int, until float64) {
-	t := s.lazyFrom[i]
+	h := &s.hot[i]
+	t := h.lazyFrom
 	for {
 		var rate float64
-		if s.up[i] {
+		if h.up {
 			rate = s.p.FailRate[i]
 		} else {
 			rate = s.p.RecRate[i]
@@ -671,15 +759,15 @@ func (s *simState) lazyResolve(i int, until float64) {
 			break
 		}
 		t += d
-		if s.up[i] {
-			s.up[i] = false
+		if h.up {
+			h.up = false
 			s.res.Failures++
 		} else {
-			s.up[i] = true
+			h.up = true
 			s.res.Recoveries++
 		}
 	}
-	s.lazyFrom[i] = until
+	h.lazyFrom = until
 }
 
 // lazyTouch brings a detached node's state up to the clock before the
@@ -688,7 +776,7 @@ func (s *simState) lazyResolve(i int, until float64) {
 //
 //churnlb:hotpath
 func (s *simState) lazyTouch(i int) {
-	if !s.lazy || s.churnTimer[i].Active() {
+	if !s.lazy || s.hot[i].churnTimer.Active() {
 		return
 	}
 	s.lazyResolve(i, s.sched.Now())
@@ -700,10 +788,10 @@ func (s *simState) lazyTouch(i int) {
 //
 //churnlb:hotpath
 func (s *simState) lazyArm(i int) {
-	if !s.lazy || s.churnTimer[i].Active() {
+	if !s.lazy || s.hot[i].churnTimer.Active() {
 		return
 	}
-	if s.up[i] {
+	if s.hot[i].up {
 		s.scheduleFailure(i)
 	} else {
 		s.scheduleRecovery(i)
@@ -719,9 +807,10 @@ func (s *simState) lazyDisarm(i int) {
 	if !s.lazy {
 		return
 	}
-	s.churnTimer[i].Cancel()
-	s.churnTimer[i] = des.Handle{}
-	s.lazyFrom[i] = s.sched.Now()
+	h := &s.hot[i]
+	h.churnTimer.Cancel()
+	h.churnTimer = des.Handle{}
+	h.lazyFrom = s.sched.Now()
 }
 
 //churnlb:hotpath
@@ -743,22 +832,23 @@ func (s *simState) scheduleFailure(i int) {
 		return
 	}
 	d := s.churnSample(1 / s.p.FailRate[i])
-	h := s.sched.After(d, s.failFn[i])
+	h := s.sched.AfterIndexed(d, evKindFail, int32(i))
 	if s.lazy {
-		s.churnTimer[i] = h
+		s.hot[i].churnTimer = h
 	}
 }
 
 //churnlb:hotpath
 func (s *simState) fail(i int) {
-	if !s.up[i] {
+	h := &s.hot[i]
+	if !h.up {
 		return // already down via some other path
 	}
-	s.up[i] = false
+	h.up = false
 	s.reindex(i)
 	// Cancel the outstanding completion: its in-service task is frozen.
-	s.complTimer[i].Cancel()
-	s.complTimer[i] = des.Handle{}
+	h.complTimer.Cancel()
+	h.complTimer = des.Handle{}
 	s.res.Failures++
 	if s.obs != nil {
 		s.obs.NodeStateChanged(i, false, s.sched.Now())
@@ -767,7 +857,7 @@ func (s *simState) fail(i int) {
 	if s.fplan != nil {
 		// O(active receivers): walk the precomputed eq.-(8) row, capping
 		// against the frozen queue, into the reusable episode buffer.
-		s.transferBuf = s.fplan.Transfers(s.transferBuf[:0], i, s.queues[i])
+		s.transferBuf = s.fplan.Transfers(s.transferBuf[:0], i, int(h.queue))
 		if failurePlanHook != nil {
 			failurePlanHook(i, s.transferBuf, s.opt.Policy.OnFailure(i, s.policyView(), s.p))
 		}
@@ -775,11 +865,11 @@ func (s *simState) fail(i int) {
 	} else {
 		s.applyTransfers(s.opt.Policy.OnFailure(i, s.policyView(), s.p))
 	}
-	if s.lazy && s.queues[i] == 0 {
+	if s.lazy && h.queue == 0 {
 		// The failure shipped (or found) an empty queue: nothing to
 		// recover for, so the node detaches instead of arming a recovery
 		// timer. lazyTouch realises the recovery when work next arrives.
-		s.lazyFrom[i] = s.sched.Now()
+		h.lazyFrom = s.sched.Now()
 		return
 	}
 	s.scheduleRecovery(i)
@@ -791,18 +881,18 @@ func (s *simState) scheduleRecovery(i int) {
 		return // permanently down; Validate guarantees no tasks strand here
 	}
 	d := s.churnSample(1 / s.p.RecRate[i])
-	h := s.sched.After(d, s.recFn[i])
+	h := s.sched.AfterIndexed(d, evKindRecover, int32(i))
 	if s.lazy {
-		s.churnTimer[i] = h
+		s.hot[i].churnTimer = h
 	}
 }
 
 //churnlb:hotpath
 func (s *simState) recover(i int) {
-	if s.up[i] {
+	if s.hot[i].up {
 		return
 	}
-	s.up[i] = true
+	s.hot[i].up = true
 	s.reindex(i)
 	s.res.Recoveries++
 	if s.obs != nil {
@@ -827,18 +917,19 @@ func (s *simState) send(tr model.Transfer) {
 	if tr.Tasks <= 0 {
 		return
 	}
-	if tr.From < 0 || tr.From >= len(s.queues) || tr.To < 0 || tr.To >= len(s.queues) || tr.From == tr.To {
+	if tr.From < 0 || tr.From >= len(s.hot) || tr.To < 0 || tr.To >= len(s.hot) || tr.From == tr.To {
 		panic(fmt.Sprintf("sim: invalid transfer %+v", tr))
 	}
-	if tr.Tasks > s.queues[tr.From] {
-		tr.Tasks = s.queues[tr.From] // policies may race with processing
+	from := &s.hot[tr.From]
+	if tr.Tasks > int(from.queue) {
+		tr.Tasks = int(from.queue) // policies may race with processing
 	}
 	if tr.Tasks == 0 {
 		return
 	}
-	s.queues[tr.From] -= tr.Tasks
+	from.queue -= int32(tr.Tasks)
 	s.reindex(tr.From)
-	if s.queues[tr.From] == 0 {
+	if from.queue == 0 {
 		s.lazyDisarm(tr.From) // whole queue shipped away: sender detaches
 	}
 	var recs []taskRec
@@ -861,19 +952,20 @@ func (s *simState) send(tr model.Transfer) {
 	s.sched.After(delay, func() {
 		s.inFlight -= tasks
 		s.lazyTouch(to) // a detached receiver's state resolves before use
-		s.queues[to] += tasks
+		dst := &s.hot[to]
+		dst.queue += int32(tasks)
 		s.reindex(to)
 		if s.obs != nil {
 			s.taskq[to].recs = append(s.taskq[to].recs, recs...)
 			s.obs.TransferArrived(to, tasks, s.sched.Now())
 		}
 		s.trace(EvArrival, to)
-		if s.up[to] {
+		if dst.up {
 			// A previously empty queue needs its completion process
 			// re-armed; a busy one keeps its outstanding timer (the
 			// service law is memoryless, and for non-exponential laws
 			// the approximation only affects one in-service task).
-			if s.queues[to] == tasks {
+			if int(dst.queue) == tasks {
 				s.scheduleCompletion(to)
 			}
 		}
@@ -908,7 +1000,7 @@ func (s *simState) scheduleArrival() {
 		rate *= 1 + s.opt.ArrivalWave.Amplitude
 	}
 	d := s.rng.Exp(rate)
-	s.sched.After(d, s.arriveFn)
+	s.sched.AfterIndexed(d, evKindArrival, 0)
 }
 
 //churnlb:hotpath
@@ -966,7 +1058,7 @@ func (s *simState) externalArrival() {
 		s.sink.Decision(v, node, batch, cands)
 	}
 	s.lazyTouch(node) // resolve a detached target before reading its state
-	s.queues[node] += batch
+	s.hot[node].queue += int32(batch)
 	s.reindex(node)
 	s.remaining += batch
 	s.res.ExternalArrivals += batch
@@ -978,7 +1070,7 @@ func (s *simState) externalArrival() {
 		s.obs.TasksArrived(node, batch, now)
 	}
 	s.trace(EvExternal, node)
-	if s.up[node] && s.queues[node] == batch {
+	if s.hot[node].up && int(s.hot[node].queue) == batch {
 		s.scheduleCompletion(node)
 	}
 	s.lazyArm(node)
