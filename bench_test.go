@@ -192,6 +192,51 @@ func BenchmarkSimN10000(b *testing.B) { benchSimScale(b, 10000) }
 // nodes and 10⁷ tasks, ~2·10⁵ live timers through most of the run.
 func BenchmarkSimN100000(b *testing.B) { benchSimScale(b, 100_000) }
 
+// --- domain-sharded parallel benchmarks ---
+//
+// One fixed large realisation (hotspot, 10⁴ nodes, 10⁶ tasks) on the
+// domain-sharded engine at 1, 2 and 4 worker shards. The trailing digit
+// is the shard count, not the cluster size, so the benchsummary flat
+// gate reads the family as speedup-per-shard: the "largest-N" row is the
+// 4-shard run and its per-task cost must stay within the -flatmax
+// multiple of the 1-shard row. On a multi-core runner the 4-shard row
+// lands well below 1x (that is the point of the engine); the gate's
+// ceiling bounds coordination overhead so the family cannot quietly
+// regress into negative scaling on any hardware, including the one-core
+// CI container where no speedup is physically available. Results are
+// bit-identical across the three rows (and to any other positive shard
+// count) — the invariance tests in internal/sim enforce that; these rows
+// only time it.
+
+// benchSimShard times one sharded realisation per iteration at the given
+// worker count.
+func benchSimShard(b *testing.B, shards int) {
+	const n, totalLoad = 10_000, 1_000_000
+	sc, err := scenario.Generate(scenario.Spec{Kind: scenario.Hotspot, N: n, TotalLoad: totalLoad, Seed: 1, HotspotNodes: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := policy.LBP2{K: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := xrand.NewStream(1, uint64(i))
+		opt := sc.Options(pol, rng)
+		opt.Shards = shards
+		res, err := sim.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CompletionTime <= 0 {
+			b.Fatal("realisation did not run")
+		}
+	}
+	b.ReportMetric(float64(totalLoad), "tasks/op")
+}
+
+func BenchmarkSimShardN1(b *testing.B) { benchSimShard(b, 1) }
+func BenchmarkSimShardN2(b *testing.B) { benchSimShard(b, 2) }
+func BenchmarkSimShardN4(b *testing.B) { benchSimShard(b, 4) }
+
 // --- churn-heavy scale benchmarks ---
 //
 // The same workloads with mean time between failures cut 10x (20 s) and

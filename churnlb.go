@@ -408,6 +408,15 @@ type SimOptions struct {
 	// timers. Lazy runs are statistically — not bit — identical to eager
 	// ones for the same seed.
 	LazyChurn bool
+	// Shards, when positive, runs each realisation on the simulator's
+	// domain-sharded engine: up to Shards worker goroutines advance a
+	// fixed failure-domain partition in conservative time windows. The
+	// result is bit-identical for every positive Shards value (and any
+	// GOMAXPROCS), but is a different realisation of the same stochastic
+	// process than the default Shards == 0 single-stream engine. Sharded
+	// runs reject Trace and policies whose failure episodes read
+	// cluster-wide state outside a precomputed plan.
+	Shards int
 }
 
 // Simulate runs one exact stochastic realisation of the churn model.
@@ -445,6 +454,7 @@ func Simulate(s System, spec PolicySpec, load []int, seed uint64, opt SimOptions
 		ArrivalHorizon: opt.ArrivalHorizon,
 		EventQueue:     qk,
 		LazyChurn:      opt.LazyChurn,
+		Shards:         opt.Shards,
 	})
 	if err != nil {
 		return SimResult{}, err
@@ -522,6 +532,7 @@ func MonteCarloOpts(s System, spec PolicySpec, load []int, reps int, seed uint64
 			EventQueue:     qk,
 			LazyChurn:      opt.LazyChurn,
 			FailurePlan:    plan,
+			Shards:         opt.Shards,
 		})
 		if err != nil {
 			return 0, err
@@ -689,6 +700,14 @@ type ServeOptions struct {
 	// over; 0 means GOMAXPROCS. The estimate is bit-identical for any
 	// worker count. Ignored by Serve.
 	Workers int
+	// Shards, when positive, runs each realisation on the simulator's
+	// domain-sharded parallel engine (up to Shards worker goroutines per
+	// run, conservative time-window sync). The result is bit-identical
+	// for every positive Shards value but is a different realisation of
+	// the same process than the Shards == 0 single-stream engine.
+	// Sharded serving rejects decision tracing and policies the sharded
+	// engine cannot gate (see the package README).
+	Shards int
 	// TraceDecisions attaches the decision tracer to the run: every
 	// routed arrival is priced against its DecisionK best untaken
 	// candidates (0 means the default depth of 3) and ServeResult
@@ -940,6 +959,7 @@ func buildServeOptions(s System, spec PolicySpec, router RouterSpec, seed uint64
 		ChurnLaw:      cl,
 		EventQueue:    qk,
 		Seed:          seed,
+		Shards:        opt.Shards,
 	}, nil
 }
 

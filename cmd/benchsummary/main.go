@@ -265,6 +265,24 @@ func flatGate(sum Summary, re *regexp.Regexp, maxRatio float64) (lines, failed [
 	return lines, failed
 }
 
+// contextWarnings compares the hardware context of the current run to
+// the baseline's: a baseline diff (or a flat-gate ratio read against
+// one) is only meaningful on matching cpu and GOMAXPROCS, and a baseline
+// refreshed on a developer laptop would otherwise gate CI-runner numbers
+// silently. Mismatches warn rather than fail — cross-hardware diffs are
+// sometimes exactly what a human is looking at — but the warning makes
+// the apples-to-oranges comparison impossible to miss.
+func contextWarnings(cur, base Summary) []string {
+	var out []string
+	if cur.CPU != "" && base.CPU != "" && cur.CPU != base.CPU {
+		out = append(out, fmt.Sprintf("warning: cpu differs from baseline: current %q, baseline %q — per-op ratios compare across hardware", cur.CPU, base.CPU))
+	}
+	if cur.Procs > 0 && base.Procs > 0 && cur.Procs != base.Procs {
+		out = append(out, fmt.Sprintf("warning: GOMAXPROCS differs from baseline: current %d, baseline %d — parallel families (BenchmarkSimShardN*) are not comparable", cur.Procs, base.Procs))
+	}
+	return out
+}
+
 // diffAgainst compares cur's per-op times to base's for benchmarks whose
 // name matches re, returning one line per comparison and the names that
 // regressed beyond maxRatio. Baselines under minNs are skipped — a
@@ -399,6 +417,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := json.Unmarshal(bb, &base); err != nil {
 			fmt.Fprintf(stderr, "benchsummary: %s: %v\n", *against, err)
 			return 1
+		}
+		for _, line := range contextWarnings(sum, base) {
+			fmt.Fprintln(stderr, "benchsummary:", line)
 		}
 		lines, regressed := diffAgainst(sum, base, re, *maxRatio, *minNs)
 		for _, line := range lines {

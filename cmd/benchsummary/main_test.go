@@ -281,3 +281,59 @@ func TestRunRejectsMissingInput(t *testing.T) {
 		t.Fatalf("exit %d, want 1", code)
 	}
 }
+
+// TestContextWarnings: a baseline recorded on different hardware or a
+// different GOMAXPROCS must be called out when diffed against, and
+// matching (or unknown) context must stay silent.
+func TestContextWarnings(t *testing.T) {
+	cur := Summary{CPU: "AMD EPYC 7B13", Procs: 1}
+	if got := contextWarnings(cur, cur); got != nil {
+		t.Fatalf("matching context warned: %v", got)
+	}
+	// Unknown fields on either side cannot be compared, so no warning.
+	if got := contextWarnings(Summary{}, cur); got != nil {
+		t.Fatalf("unknown current context warned: %v", got)
+	}
+	if got := contextWarnings(cur, Summary{}); got != nil {
+		t.Fatalf("unknown baseline context warned: %v", got)
+	}
+	got := contextWarnings(cur, Summary{CPU: "Intel Xeon", Procs: 8})
+	if len(got) != 2 {
+		t.Fatalf("warnings %v, want cpu + GOMAXPROCS", got)
+	}
+	if !strings.Contains(got[0], "cpu differs") || !strings.Contains(got[1], "GOMAXPROCS differs") {
+		t.Fatalf("warnings %v", got)
+	}
+}
+
+// TestRunWarnsOnContextMismatch: the warning reaches stderr on a -against
+// diff but never fails the run by itself.
+func TestRunWarnsOnContextMismatch(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	baseline := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.CPU = "Intel Xeon"
+	base.Procs = 1
+	bb, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, bb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-in", in, "-against", baseline}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (warnings must not fail the run); stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cpu differs") || !strings.Contains(stderr.String(), "GOMAXPROCS differs") {
+		t.Fatalf("stderr missing context warnings: %s", stderr.String())
+	}
+}

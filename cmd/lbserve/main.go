@@ -59,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		delta   = fs.Float64("delta", 0.02, "mean transfer delay per task, s")
 		window  = fs.Float64("window", 0, "telemetry window, s (0 = horizon/100)")
 		queue   = fs.String("queue", "heap", "event-queue backend: heap, calendar (alias wheel); results are bit-identical either way")
+		shards  = fs.Int("shards", 0, "run each realisation on the domain-sharded parallel engine with up to this many workers (0 = single-stream engine; any positive count is bit-identical to any other; incompatible with -decisions)")
 		seed    = fs.Uint64("seed", 1, "root seed")
 		reps    = fs.Int("reps", 1, "replications; >1 aggregates a parallel Monte-Carlo estimate")
 		workers = fs.Int("workers", 0, "worker goroutines for -reps (0 = GOMAXPROCS)")
@@ -117,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		InitialUp:   sc.InitialUp,
 		Window:      *window,
 		EventQueue:  eq,
+		Shards:      *shards,
 	}
 	if kind == scenario.Diurnal {
 		// The scenario supplies the wave shape when -load generated one;
@@ -154,6 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		man.Scenario = &obs.ScenarioRef{Kind: kind.String(), Nodes: *nodes, Load: *load, Delta: *delta}
 		man.Policy = obs.PolicyRef{Name: *polStr, K: *k, D: *d}
 		man.Queue = *queue
+		man.Shards = *shards
 		man.Rate = *rate
 		man.Batch = *batch
 		man.Horizon = *horizon

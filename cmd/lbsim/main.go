@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		churn    = fs.String("churn", "exp", "failure/recovery law: exp, weibull, det")
 		queue    = fs.String("queue", "heap", "event-queue backend: heap, calendar (alias wheel); results are bit-identical either way")
 		lazy     = fs.Bool("lazychurn", false, "keep churn timers only for loaded nodes (statistically, not bit, identical; falls back to eager when the run would observe idle nodes)")
+		shards   = fs.Int("shards", 0, "run each realisation on the domain-sharded parallel engine with up to this many workers (0 = single-stream engine; any positive count is bit-identical to any other)")
 		scenStr  = fs.String("scenario", "", "large-cluster scenario: uniform, hotspot, correlated, flashcrowd, diurnal")
 		nodes    = fs.Int("nodes", 100, "scenario node count")
 		loadFlag = fs.Int("load", 10000, "scenario total tasks")
@@ -113,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		man.Churn = *churn
 		man.Queue = *queue
 		man.LazyChurn = *lazy
+		man.Shards = *shards
 		return man
 	}
 	saveManifest := func(man *obs.Manifest) int {
@@ -129,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *scenStr != "" {
 		return runScenario(stdout, stderr, *scenStr, *polStr, *nodes, *loadFlag, *reps, *seed,
-			*k, *delta, stm, scl, seq, *lazy, newManifest, saveManifest)
+			*k, *delta, stm, scl, seq, *lazy, *shards, newManifest, saveManifest)
 	}
 
 	sys := churnlb.PaperSystem().WithDelay(*delta)
@@ -142,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	load := []int{*m0, *m1}
-	opts := churnlb.SimOptions{TransferMode: tm, ChurnLaw: cl, EventQueue: eq, LazyChurn: *lazy}
+	opts := churnlb.SimOptions{TransferMode: tm, ChurnLaw: cl, EventQueue: eq, LazyChurn: *lazy, Shards: *shards}
 
 	// The two-node manifest records the resolved system rate-by-rate
 	// (after -delta/-nofail), so a replay needs no flag re-derivation.
@@ -194,7 +196,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runScenario runs a generated large-cluster scenario: a Monte-Carlo
 // study for reps > 1, a single summarised realisation for reps = 1.
 func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalLoad, reps int, seed uint64,
-	k, delta float64, stm sim.TransferMode, scl sim.ChurnLaw, seq des.QueueKind, lazy bool,
+	k, delta float64, stm sim.TransferMode, scl sim.ChurnLaw, seq des.QueueKind, lazy bool, shards int,
 	newManifest func(mode string) *obs.Manifest, saveManifest func(*obs.Manifest) int) int {
 	kind, err := scenario.ParseKind(scenStr)
 	if err != nil {
@@ -223,6 +225,7 @@ func runScenario(stdout, stderr io.Writer, scenStr, polStr string, nodes, totalL
 		o.ChurnLaw = scl
 		o.EventQueue = seq
 		o.LazyChurn = lazy
+		o.Shards = shards
 		return o
 	}
 	fillScenario := func(man *obs.Manifest) {

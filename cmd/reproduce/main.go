@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		manifest  = fs.String("manifest", "", "replay + verify a run manifest instead of running experiments")
 		decisions = fs.String("decisions", "", "with -manifest: JSONL file for the replayed decision trace ('' discards)")
+		shards    = fs.Int("shards", -1, "with -manifest: replay on this many shard workers instead of the recorded count (-1 = as recorded; sharded results are bit-identical at any positive count, so the verification still demands an exact match)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -54,7 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *manifest != "" {
-		return replayManifest(stdout, stderr, *manifest, *decisions)
+		return replayManifest(stdout, stderr, *manifest, *decisions, *shards)
 	}
 
 	if *list {
@@ -110,11 +111,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 // replayManifest re-executes the run a manifest describes and verifies
 // the recorded metrics (and decision hash) exactly. Exit 0 means the
 // manifest reproduced bit-for-bit.
-func replayManifest(stdout, stderr io.Writer, path, decisionsPath string) int {
+func replayManifest(stdout, stderr io.Writer, path, decisionsPath string, shards int) int {
 	m, err := obs.LoadManifest(path)
 	if err != nil {
 		fmt.Fprintln(stderr, "reproduce:", err)
 		return 2
+	}
+	if shards >= 0 && shards != m.Shards {
+		// The sharded engine is bit-identical across positive shard counts
+		// only; the single-stream engine (0) is a different realisation, so
+		// crossing the 0 boundary would replay the wrong process.
+		if (shards > 0) != (m.Shards > 0) {
+			fmt.Fprintf(stderr, "reproduce: -shards %d cannot replay a manifest recorded with shards %d (the sharded and single-stream engines are different realisations)\n", shards, m.Shards)
+			return 2
+		}
+		fmt.Fprintf(stderr, "replaying with shards %d (manifest recorded %d; sharded results are shard-count invariant)\n", shards, m.Shards)
+		m.Shards = shards
 	}
 	var decisionLog io.Writer
 	if decisionsPath != "" {

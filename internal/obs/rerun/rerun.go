@@ -408,6 +408,7 @@ func rerunServe(m *obs.Manifest, decisionLog io.Writer, rep *Report) error {
 		EventQueue:    eq,
 		WaveAmplitude: m.WaveAmplitude,
 		WavePeriod:    m.WavePeriod,
+		Shards:        m.Shards,
 	}
 	sys := SystemFrom(sc.Params)
 	if m.Mode == obs.ModeServeMany {
@@ -455,7 +456,7 @@ func rerunTwoNode(m *obs.Manifest, rep *Report) error {
 	if err != nil {
 		return err
 	}
-	opts := churnlb.SimOptions{TransferMode: tm, ChurnLaw: cl, EventQueue: eq, LazyChurn: m.LazyChurn}
+	opts := churnlb.SimOptions{TransferMode: tm, ChurnLaw: cl, EventQueue: eq, LazyChurn: m.LazyChurn, Shards: m.Shards}
 	if m.Mode == obs.ModeSim {
 		opts.Trace = true // mirror lbsim -trace; tracing never perturbs the run
 		res, err := churnlb.Simulate(sys, spec, m.InitialLoad, m.Seed, opts)
@@ -502,6 +503,7 @@ func rerunScenario(m *obs.Manifest, rep *Report) error {
 		o.ChurnLaw = scl
 		o.EventQueue = seq
 		o.LazyChurn = m.LazyChurn
+		o.Shards = m.Shards
 		return o
 	}
 	if m.Mode == obs.ModeSimScenario {

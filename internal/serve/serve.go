@@ -53,6 +53,15 @@ type Options struct {
 	EventQueue des.QueueKind
 	// Seed drives all randomness.
 	Seed uint64
+	// Shards, when positive, runs the realisation on the simulator's
+	// domain-sharded engine: up to Shards worker goroutines advance the
+	// fixed failure-domain partition in conservative time windows. The
+	// result is bit-identical for every positive Shards value (and any
+	// GOMAXPROCS) but is a different realisation of the same process
+	// than the Shards == 0 single-stream engine. Sharded serving rejects
+	// Instrument (its decision sink needs the sequential engine) and
+	// policies the sharded simulator cannot gate (see sim.StartSharded).
+	Shards int
 	// Instrument, when non-nil, is invoked once per realisation with the
 	// telemetry collector and returns the TaskObserver and DecisionSink
 	// to install in its place — the seam internal/obs's decision tracer
@@ -120,7 +129,10 @@ func Run(opt Options) (*Result, error) {
 	// and routing every serving run through the decomposed loop keeps the
 	// step API exercised by the entire serving test suite. The two forms
 	// are bit-identical by construction (sim.Run is this exact loop).
-	r, err := sim.Start(sim.Options{
+	// With Shards > 0 the same loop drives the domain-sharded engine
+	// through the identical surface — each step then advances one
+	// conservative window instead of one event.
+	simOpt := sim.Options{
 		Params:         opt.Params,
 		Policy:         opt.Policy,
 		InitialLoad:    load,
@@ -137,7 +149,19 @@ func Run(opt Options) (*Result, error) {
 		DecisionSink:   sink,
 		EventQueue:     opt.EventQueue,
 		FailurePlan:    opt.failurePlan,
-	})
+		Shards:         opt.Shards,
+	}
+	var r interface {
+		Done() bool
+		ProcessNext() bool
+		Finish() (*sim.Result, error)
+	}
+	var err error
+	if opt.Shards > 0 {
+		r, err = sim.StartSharded(simOpt)
+	} else {
+		r, err = sim.Start(simOpt)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -198,10 +222,7 @@ func RunMany(opt Options, reps, workers int, visit func(rep int, r *Result)) err
 
 // MixSeed derives the per-replication seed used by serving Monte-Carlo
 // loops (SplitMix64-style finalizer over seed and replication index).
-func MixSeed(seed uint64, rep int) uint64 {
-	x := seed ^ (uint64(rep)+1)*0x9e3779b97f4a7c15
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	return x
-}
+// It delegates to xrand.MixSeed — the one seed-mixing layout shared with
+// the sharded simulator's per-domain streams — and must stay
+// bit-identical to the historical inline implementation.
+func MixSeed(seed uint64, rep int) uint64 { return xrand.MixSeed(seed, rep) }

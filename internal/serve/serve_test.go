@@ -120,3 +120,52 @@ func TestMixSeedSpreads(t *testing.T) {
 		seen[s] = true
 	}
 }
+
+// TestRunShardCountInvariant: the full serving telemetry stack (window
+// series, percentile sketches, fairness tally) must come out bit-for-bit
+// identical for every positive Shards value — the sharded engine merges
+// per-domain observer streams back into one monotone stream, and this
+// pins that the collector cannot tell the shard counts apart.
+func TestRunShardCountInvariant(t *testing.T) {
+	collect := func(shards int) *Result {
+		opt := testOptions(t)
+		opt.Shards = shards
+		r, err := Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := collect(1)
+	if base.Summary.Completed == 0 {
+		t.Fatal("sharded run completed nothing")
+	}
+	for _, shards := range []int{2, 4, 7} {
+		got := collect(shards)
+		b, g := base.Summary, got.Summary
+		if b.Arrived != g.Arrived || b.Completed != g.Completed ||
+			math.Float64bits(b.P50) != math.Float64bits(g.P50) ||
+			math.Float64bits(b.P99) != math.Float64bits(g.P99) ||
+			math.Float64bits(b.Throughput) != math.Float64bits(g.Throughput) ||
+			math.Float64bits(b.Availability) != math.Float64bits(g.Availability) ||
+			math.Float64bits(b.Fairness) != math.Float64bits(g.Fairness) {
+			t.Errorf("shards=%d summary diverged: %+v vs %+v", shards, b, g)
+		}
+		if len(base.Windows) != len(got.Windows) {
+			t.Fatalf("shards=%d: %d windows vs %d", shards, len(got.Windows), len(base.Windows))
+		}
+		for i := range base.Windows {
+			if math.Float64bits(base.Windows[i].P99) != math.Float64bits(got.Windows[i].P99) ||
+				math.Float64bits(base.Windows[i].QueueDepth) != math.Float64bits(got.Windows[i].QueueDepth) {
+				t.Errorf("shards=%d window %d diverged", shards, i)
+			}
+		}
+		bs, gs := base.Sim, got.Sim
+		if math.Float64bits(bs.CompletionTime) != math.Float64bits(gs.CompletionTime) ||
+			bs.Failures != gs.Failures || bs.Recoveries != gs.Recoveries ||
+			bs.TransfersSent != gs.TransfersSent || bs.TasksTransferred != gs.TasksTransferred ||
+			bs.ExternalArrivals != gs.ExternalArrivals {
+			t.Errorf("shards=%d sim result diverged: %+v vs %+v", shards, bs, gs)
+		}
+	}
+}

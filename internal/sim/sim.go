@@ -171,6 +171,26 @@ type Options struct {
 	// same conditions a run would plan for itself (the installed policy
 	// is a FailurePlanner and Trace is off) and ignored otherwise.
 	FailurePlan *policy.FailurePlan
+	// Shards, when positive, runs the realisation on the domain-sharded
+	// engine (see shard.go): nodes partition into failure domains, each
+	// with its own event queue and rng stream, advanced by up to Shards
+	// worker goroutines in conservative time windows. The result is
+	// bit-identical for every positive Shards value and any GOMAXPROCS —
+	// shard count chooses only how much hardware executes the fixed
+	// domain decomposition — but it is a different (equally valid)
+	// realisation of the same stochastic process than the Shards == 0
+	// single-stream engine, which remains the default and the reference
+	// for the golden suite. Sharded runs reject Trace and DecisionSink,
+	// require an episode-inert or failure-planning policy, and silently
+	// run eager churn timers (see StartSharded).
+	Shards int
+	// ShardWindow overrides the conservative window width Δ of a sharded
+	// run in simulated seconds; 0 derives it from Params (see
+	// defaultShardWindow). The window is part of the sharded semantics —
+	// cross-domain deliveries quantise to window boundaries — so two runs
+	// agree bit-for-bit only when their windows agree; leave it 0 outside
+	// tests so the width stays a pure function of Params.
+	ShardWindow float64
 }
 
 // Wave describes a sinusoidal arrival-rate modulation (diurnal pattern).
@@ -233,6 +253,10 @@ const (
 	evKindFail
 	evKindRecover
 	evKindArrival // the Poisson arrival tick; arg unused
+	// evKindDeliver lands a cross-domain batch on a sharded run: arg
+	// indexes the domain's pending-delivery table (see shardLink.pend).
+	// Never scheduled on the single-stream engine.
+	evKindDeliver
 )
 
 type simState struct {
@@ -289,11 +313,23 @@ type simState struct {
 	sink    DecisionSink
 	sr      policy.ScoredRouter
 	candBuf []policy.Candidate
+	// shard, when non-nil, marks this state as one failure domain of a
+	// sharded run (see shard.go): hot, taskq and res.Processed are shared
+	// arrays of which this domain owns a contiguous slice, remaining and
+	// inFlight count only this domain's tasks, and cross-domain transfers
+	// leave through shard.outbox instead of a scheduled closure. nil on
+	// the single-stream engine — every shard hook below is a nil-check
+	// no-op there.
+	shard *shardLink
 }
 
 // Run executes one realisation and returns its Result: Start, a loop
-// over the step primitives, Finish.
+// over the step primitives, Finish. Options.Shards > 0 dispatches to the
+// domain-sharded engine (RunSharded) instead.
 func Run(opt Options) (*Result, error) {
+	if opt.Shards > 0 {
+		return RunSharded(opt)
+	}
 	r, err := Start(opt)
 	if err != nil {
 		return nil, err
@@ -319,38 +355,38 @@ type Realisation struct {
 	s *simState
 }
 
-// Start validates opt, builds the realisation's state — the hot array,
-// the load index, the failure plan, the initial balancing transfers —
-// and arms every per-node process, leaving the clock at the first
-// pending event. It consumes randomness only as far as arming does, so
-// Start + step loop + Finish replays exactly the stream Run consumes.
-func Start(opt Options) (*Realisation, error) {
+// validateOptions checks the option set both engines share and applies
+// the in-place defaults (a nil Policy becomes NoBalance), returning the
+// cluster size. Engine-specific gates — Start's rejection of Shards,
+// StartSharded's rejection of Trace and non-shardable policies — stay
+// with their engines.
+func validateOptions(opt *Options) (int, error) {
 	if err := opt.Params.Validate(); err != nil {
-		return nil, err
+		return 0, err
 	}
 	n := opt.Params.N()
 	if len(opt.InitialLoad) != n {
-		return nil, fmt.Errorf("sim: InitialLoad has %d entries for %d nodes", len(opt.InitialLoad), n)
+		return 0, fmt.Errorf("sim: InitialLoad has %d entries for %d nodes", len(opt.InitialLoad), n)
 	}
 	for i, q := range opt.InitialLoad {
 		if q < 0 {
-			return nil, fmt.Errorf("sim: negative initial load %d at node %d", q, i)
+			return 0, fmt.Errorf("sim: negative initial load %d at node %d", q, i)
 		}
 		if q > math.MaxInt32 {
-			return nil, fmt.Errorf("sim: initial load %d at node %d exceeds the %d per-queue cap", q, i, math.MaxInt32)
+			return 0, fmt.Errorf("sim: initial load %d at node %d exceeds the %d per-queue cap", q, i, math.MaxInt32)
 		}
 	}
 	if opt.InitialUp != nil && len(opt.InitialUp) != n {
-		return nil, fmt.Errorf("sim: InitialUp has %d entries for %d nodes", len(opt.InitialUp), n)
+		return 0, fmt.Errorf("sim: InitialUp has %d entries for %d nodes", len(opt.InitialUp), n)
 	}
 	if opt.Rand == nil {
-		return nil, fmt.Errorf("sim: Options.Rand is required for reproducibility")
+		return 0, fmt.Errorf("sim: Options.Rand is required for reproducibility")
 	}
 	if opt.Policy == nil {
 		opt.Policy = policy.NoBalance{}
 	}
 	if opt.ArrivalRate > 0 && opt.ArrivalHorizon <= 0 {
-		return nil, fmt.Errorf("sim: ArrivalRate needs a positive ArrivalHorizon")
+		return 0, fmt.Errorf("sim: ArrivalRate needs a positive ArrivalHorizon")
 	}
 	validQueue := false
 	for _, k := range des.QueueKinds() {
@@ -359,21 +395,40 @@ func Start(opt Options) (*Realisation, error) {
 		}
 	}
 	if !validQueue {
-		return nil, fmt.Errorf("sim: unknown EventQueue kind %d", int(opt.EventQueue))
+		return 0, fmt.Errorf("sim: unknown EventQueue kind %d", int(opt.EventQueue))
 	}
 	if opt.ArrivalWave.Period > 0 {
 		if opt.ArrivalRate <= 0 {
-			return nil, fmt.Errorf("sim: ArrivalWave needs a positive ArrivalRate")
+			return 0, fmt.Errorf("sim: ArrivalWave needs a positive ArrivalRate")
 		}
 		if a := opt.ArrivalWave.Amplitude; a < 0 || a > 1 {
-			return nil, fmt.Errorf("sim: ArrivalWave.Amplitude = %v must be in [0,1]", a)
+			return 0, fmt.Errorf("sim: ArrivalWave.Amplitude = %v must be in [0,1]", a)
 		}
 	}
 	if opt.FailurePlan != nil && opt.FailurePlan.Nodes() != n {
 		// Rejected even on runs that would not consult it: a plan built
 		// for a different cluster always indicates miswired sharing.
-		return nil, fmt.Errorf("sim: FailurePlan built for %d nodes, Params has %d",
+		return 0, fmt.Errorf("sim: FailurePlan built for %d nodes, Params has %d",
 			opt.FailurePlan.Nodes(), n)
+	}
+	return n, nil
+}
+
+// Start validates opt, builds the realisation's state — the hot array,
+// the load index, the failure plan, the initial balancing transfers —
+// and arms every per-node process, leaving the clock at the first
+// pending event. It consumes randomness only as far as arming does, so
+// Start + step loop + Finish replays exactly the stream Run consumes.
+func Start(opt Options) (*Realisation, error) {
+	if opt.Shards > 0 {
+		// Run dispatches automatically; direct step-surface callers must
+		// choose the engine explicitly because the two surfaces differ
+		// (ProcessNext fires one event here, one window there).
+		return nil, fmt.Errorf("sim: Shards = %d needs StartSharded (or Run/RunSharded)", opt.Shards)
+	}
+	n, err := validateOptions(&opt)
+	if err != nil {
+		return nil, err
 	}
 
 	s := &simState{
@@ -506,6 +561,8 @@ func (s *simState) dispatch(kind, arg int32) {
 		s.fail(int(arg))
 	case evKindRecover:
 		s.recover(int(arg))
+	case evKindDeliver:
+		s.deliver(int(arg))
 	default:
 		s.externalArrival()
 	}
@@ -605,6 +662,15 @@ func (v *liveView) MinScoreNode() (int, bool) {
 func (s *simState) reindex(i int) {
 	if s.lidx != nil {
 		s.lidx.set(i, s.scoreFn(i, s.queueOf(i), s.hot[i].up))
+	}
+	// On a sharded run with a router front door, the same mutation hook
+	// marks the node dirty so the window barrier patches the router's
+	// stale mirror incrementally instead of rescanning the cluster.
+	if sh := s.shard; sh != nil && sh.dirtyAt != nil {
+		if sh.dirtyAt[i] != sh.epoch {
+			sh.dirtyAt[i] = sh.epoch
+			sh.dirty = append(sh.dirty, int32(i))
+		}
 	}
 }
 
@@ -862,9 +928,13 @@ func (s *simState) fail(i int) {
 			failurePlanHook(i, s.transferBuf, s.opt.Policy.OnFailure(i, s.policyView(), s.p))
 		}
 		s.applyTransfers(s.transferBuf)
-	} else {
+	} else if s.shard == nil {
 		s.applyTransfers(s.opt.Policy.OnFailure(i, s.policyView(), s.p))
 	}
+	// A sharded domain without a plan skips the episode call entirely:
+	// StartSharded gates plan-less runs to episode-inert policies (their
+	// OnFailure statically returns nil), and the live view must not be
+	// read mid-window — it spans nodes other domains are mutating.
 	if s.lazy && h.queue == 0 {
 		// The failure shipped (or found) an empty queue: nothing to
 		// recover for, so the node detaches instead of arming a recovery
@@ -946,6 +1016,23 @@ func (s *simState) send(tr model.Transfer) {
 	s.trace(EvSend, tr.From)
 
 	delay := s.transferDelay(tr.Tasks)
+	if sh := s.shard; sh != nil && sh.owner[tr.To] != sh.self {
+		// Cross-domain: the batch leaves this domain's accounting now and
+		// joins the receiver's at the next window barrier, where the
+		// coordinator schedules the delivery (quantised to the boundary if
+		// the drawn delay would land inside the current window). The delay
+		// was drawn above in the same stream position an intra-domain
+		// transfer consumes, so the domain's stream is destination-blind.
+		s.inFlight -= tr.Tasks
+		s.remaining -= tr.Tasks
+		sh.outbox = append(sh.outbox, shardMsg{
+			at:    s.sched.Now() + delay,
+			to:    int32(tr.To),
+			tasks: int32(tr.Tasks),
+			recs:  recs,
+		})
+		return
+	}
 	to := tr.To
 	tasks := tr.Tasks
 	//lint:ignore hotalloc the in-flight batch needs a per-transfer delivery closure; transfers are rare next to completions
@@ -975,18 +1062,27 @@ func (s *simState) send(tr model.Transfer) {
 
 //churnlb:hotpath
 func (s *simState) transferDelay(tasks int) float64 {
-	if s.p.DelayPerTask == 0 {
+	return drawTransferDelay(s.rng, s.opt.TransferMode, s.p.DelayPerTask, tasks)
+}
+
+// drawTransferDelay is the one transfer-delay law both engines share: the
+// sharded coordinator draws initial-balancing delays from its own stream
+// through the same function, so the two paths cannot drift.
+//
+//churnlb:hotpath
+func drawTransferDelay(rng *xrand.Rand, mode TransferMode, perTask float64, tasks int) float64 {
+	if perTask == 0 {
 		return 0
 	}
-	switch s.opt.TransferMode {
+	switch mode {
 	case TransferPerTask:
 		d := 0.0
 		for t := 0; t < tasks; t++ {
-			d += s.rng.ExpMean(s.p.DelayPerTask)
+			d += rng.ExpMean(perTask)
 		}
 		return d
 	default:
-		return s.rng.ExpMean(s.p.DelayPerTask * float64(tasks))
+		return rng.ExpMean(perTask * float64(tasks))
 	}
 }
 

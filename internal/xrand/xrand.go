@@ -202,3 +202,17 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 		swap(i, r.Intn(i+1))
 	}
 }
+
+// MixSeed derives sub-stream s of a root seed through a SplitMix64-style
+// finalizer — the seed layout every deterministic fan-out in the module
+// shares: Monte-Carlo replications mix their replication index, and the
+// sharded simulator mixes its failure-domain index, so stream consumption
+// is stable under any worker or shard count. serve.MixSeed delegates
+// here; the two must stay bit-identical.
+func MixSeed(seed uint64, s int) uint64 {
+	x := seed ^ (uint64(s)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
