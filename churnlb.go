@@ -720,6 +720,12 @@ type ServeOptions struct {
 	TraceDecisions bool
 	DecisionK      int
 	DecisionLog    io.Writer
+	// Interrupt, when non-nil, requests graceful early termination: once
+	// the channel is closed the arrival stream stops at the next event
+	// and the realisation drains what is already queued, still producing
+	// a complete ServeResult (Interrupted reports the cut). Single runs
+	// only; ServeMany ignores it.
+	Interrupt <-chan struct{}
 }
 
 // DecisionStats summarises a decision-traced serving run: record and
@@ -772,6 +778,9 @@ type ServeResult struct {
 	// Decisions summarises the decision trace when
 	// ServeOptions.TraceDecisions (or DecisionLog) was set; nil otherwise.
 	Decisions *DecisionStats
+	// Interrupted reports that ServeOptions.Interrupt fired and the
+	// arrival stream was cut early.
+	Interrupted bool
 }
 
 // Serve runs one open-system serving realisation: tasks arrive as a
@@ -794,6 +803,7 @@ func Serve(s System, spec PolicySpec, router RouterSpec, seed uint64, opt ServeO
 			return tracer, tracer
 		}
 	}
+	so.Interrupt = opt.Interrupt
 	run, err := serve.Run(so)
 	if err != nil {
 		return ServeResult{}, err
@@ -801,6 +811,7 @@ func Serve(s System, spec PolicySpec, router RouterSpec, seed uint64, opt ServeO
 	p := so.Params
 	sum, out := run.Summary, run.Sim
 	res := ServeResult{
+		Interrupted:      run.Interrupted,
 		Arrived:          sum.Arrived,
 		Completed:        sum.Completed,
 		Duration:         out.CompletionTime,

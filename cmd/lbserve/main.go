@@ -23,6 +23,12 @@
 // counterfactual-k pricing of the router's untaken choices. The
 // -cpuprofile, -memprofile and -tracefile flags capture pprof/runtime
 // profiles of the run.
+//
+// SIGINT/SIGTERM interrupt a single run gracefully: the arrival stream
+// stops, admitted work drains, the report and time-series CSV flush,
+// and the process exits 0 (the manifest is skipped — a cut arrival
+// stream is not replayable). A -reps sweep finishes its replications;
+// a second signal kills the process immediately.
 package main
 
 import (
@@ -31,6 +37,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"churnlb"
@@ -41,9 +49,23 @@ import (
 	"churnlb/internal/scenario"
 )
 
-func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sigChannel())) }
 
-func run(args []string, stdout, stderr io.Writer) int {
+// sigChannel converts SIGINT/SIGTERM into the serving layer's Interrupt
+// contract: the returned channel closes on the first signal.
+func sigChannel() <-chan struct{} {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-ch
+		signal.Stop(ch) // a second signal kills the process the hard way
+		close(done)
+	}()
+	return done
+}
+
+func run(args []string, stdout, stderr io.Writer, interrupt <-chan struct{}) int {
 	fs := flag.NewFlagSet("lbserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -119,6 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Window:      *window,
 		EventQueue:  eq,
 		Shards:      *shards,
+		Interrupt:   interrupt, // single runs only; a -reps sweep finishes
 	}
 	if kind == scenario.Diurnal {
 		// The scenario supplies the wave shape when -load generated one;
@@ -268,6 +291,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "wrote: %s\n", path)
+	}
+	if res.Interrupted {
+		// Everything admitted drained and the report above is complete,
+		// but the realisation is not the one the inputs describe: no
+		// manifest, exit clean.
+		fmt.Fprintln(stdout, "lbserve: interrupted — drained admitted work; manifest skipped (a cut arrival stream is not replayable)")
+		return 0
 	}
 	if man != nil {
 		man.Metrics = rerun.ServeMetrics(res)

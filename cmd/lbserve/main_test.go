@@ -10,19 +10,19 @@ import (
 
 func TestBadFlagsRejected(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+	if code := run([]string{"-no-such-flag"}, &out, &errb, nil); code != 2 {
 		t.Fatalf("bad flag: exit %d, want 2", code)
 	}
-	if code := run([]string{"-policy", "nonsense"}, &out, &errb); code != 2 {
+	if code := run([]string{"-policy", "nonsense"}, &out, &errb, nil); code != 2 {
 		t.Fatalf("unknown policy: exit %d, want 2", code)
 	}
-	if code := run([]string{"-scenario", "nonsense"}, &out, &errb); code != 2 {
+	if code := run([]string{"-scenario", "nonsense"}, &out, &errb, nil); code != 2 {
 		t.Fatalf("unknown scenario: exit %d, want 2", code)
 	}
-	if code := run([]string{"-rate", "0"}, &out, &errb); code != 1 {
+	if code := run([]string{"-rate", "0"}, &out, &errb, nil); code != 1 {
 		t.Fatalf("zero rate: exit %d, want 1", code)
 	}
-	if code := run([]string{"-queue", "nonsense"}, &out, &errb); code != 2 {
+	if code := run([]string{"-queue", "nonsense"}, &out, &errb, nil); code != 2 {
 		t.Fatalf("unknown queue backend: exit %d, want 2", code)
 	}
 }
@@ -35,7 +35,7 @@ func TestServeQueueBackendBitIdentical(t *testing.T) {
 		t.Helper()
 		var out, errb bytes.Buffer
 		code := run([]string{"-scenario", "hotspot", "-nodes", "40", "-policy", "jsq",
-			"-rate", "50", "-horizon", "10", "-queue", backend}, &out, &errb)
+			"-rate", "50", "-horizon", "10", "-queue", backend}, &out, &errb, nil)
 		if code != 0 {
 			t.Fatalf("-queue %s: exit %d, stderr: %s", backend, code, errb.String())
 		}
@@ -50,7 +50,7 @@ func TestServeRepsSmoke(t *testing.T) {
 	base := []string{"-scenario", "uniform", "-nodes", "30", "-policy", "jsq",
 		"-rate", "40", "-horizon", "10", "-reps", "5"}
 	var out, errb bytes.Buffer
-	if code := run(append(base, "-workers", "1"), &out, &errb); code != 0 {
+	if code := run(append(base, "-workers", "1"), &out, &errb, nil); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
 	for _, want := range []string{"reps 5", "p50", "pooled sojourn", "throughput", "availability"} {
@@ -60,7 +60,7 @@ func TestServeRepsSmoke(t *testing.T) {
 	}
 	// The estimate must not depend on the worker count.
 	var out4 bytes.Buffer
-	if code := run(append(base, "-workers", "4"), &out4, &errb); code != 0 {
+	if code := run(append(base, "-workers", "4"), &out4, &errb, nil); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
 	if out.String() != out4.String() {
@@ -71,7 +71,7 @@ func TestServeRepsSmoke(t *testing.T) {
 func TestServeSmoke(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-scenario", "hotspot", "-nodes", "40", "-policy", "pod2",
-		"-rate", "50", "-horizon", "10"}, &out, &errb)
+		"-rate", "50", "-horizon", "10"}, &out, &errb, nil)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
@@ -86,7 +86,7 @@ func TestServeEveryPolicy(t *testing.T) {
 	for _, pol := range []string{"uniform", "rr", "jsq", "pod2", "pod3", "lew", "dynlbp2"} {
 		var out, errb bytes.Buffer
 		code := run([]string{"-scenario", "uniform", "-nodes", "20", "-policy", pol,
-			"-rate", "20", "-horizon", "5"}, &out, &errb)
+			"-rate", "20", "-horizon", "5"}, &out, &errb, nil)
 		if code != 0 {
 			t.Fatalf("%s: exit %d, stderr: %s", pol, code, errb.String())
 		}
@@ -96,7 +96,7 @@ func TestServeEveryPolicy(t *testing.T) {
 func TestServeDiurnalWave(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-scenario", "diurnal", "-nodes", "20", "-policy", "lew",
-		"-rate", "20", "-horizon", "20"}, &out, &errb)
+		"-rate", "20", "-horizon", "20"}, &out, &errb, nil)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
@@ -109,7 +109,7 @@ func TestServeWritesTimeSeries(t *testing.T) {
 	dir := t.TempDir()
 	var out, errb bytes.Buffer
 	code := run([]string{"-scenario", "uniform", "-nodes", "20", "-policy", "jsq",
-		"-rate", "20", "-horizon", "5", "-out", dir}, &out, &errb)
+		"-rate", "20", "-horizon", "5", "-out", dir}, &out, &errb, nil)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
@@ -119,5 +119,30 @@ func TestServeWritesTimeSeries(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(b), "time,throughput,p99,queue_depth,in_flight,availability,fairness\n") {
 		t.Fatalf("unexpected CSV header: %.80s", b)
+	}
+}
+
+// TestServeInterrupted: a pre-closed interrupt channel is a SIGINT
+// before the first arrival — the run drains, flushes the time series,
+// skips the manifest, and still exits 0.
+func TestServeInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	closed := make(chan struct{})
+	close(closed)
+	var out, errb bytes.Buffer
+	code := run([]string{"-scenario", "uniform", "-nodes", "10", "-policy", "jsq",
+		"-rate", "50", "-horizon", "30", "-out", dir,
+		"-manifest", filepath.Join(dir, "run.json")}, &out, &errb, closed)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Fatalf("no interruption note:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "serve_timeseries.csv")); err != nil {
+		t.Fatalf("time series not flushed on interrupt: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "run.json")); err == nil {
+		t.Fatal("interrupted run wrote a manifest (a cut arrival stream is not replayable)")
 	}
 }

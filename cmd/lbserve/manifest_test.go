@@ -23,7 +23,7 @@ func TestManifestReplaysExactly(t *testing.T) {
 		var out, errb bytes.Buffer
 		code := run([]string{"-scenario", "hotspot", "-nodes", "16", "-load", "200",
 			"-policy", "lew", "-rate", "30", "-horizon", "4", "-seed", "12",
-			"-decisions", dpath, "-counterk", "2", "-manifest", mpath}, &out, &errb)
+			"-decisions", dpath, "-counterk", "2", "-manifest", mpath}, &out, &errb, nil)
 		if code != 0 {
 			t.Fatalf("exit %d, stderr: %s", code, errb.String())
 		}
@@ -57,7 +57,7 @@ func TestManifestReplaysExactly(t *testing.T) {
 		var out, errb bytes.Buffer
 		code := run([]string{"-scenario", "uniform", "-nodes", "10", "-load", "100",
 			"-policy", "pod2", "-rate", "20", "-horizon", "3", "-reps", "6", "-seed", "2",
-			"-manifest", mpath}, &out, &errb)
+			"-manifest", mpath}, &out, &errb, nil)
 		if code != 0 {
 			t.Fatalf("exit %d, stderr: %s", code, errb.String())
 		}
@@ -81,7 +81,7 @@ func TestDecisionsRejectedForSweeps(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-scenario", "uniform", "-nodes", "8", "-load", "50",
 		"-policy", "jsq", "-rate", "10", "-horizon", "2", "-reps", "3",
-		"-decisions", filepath.Join(t.TempDir(), "d.jsonl")}, &out, &errb)
+		"-decisions", filepath.Join(t.TempDir(), "d.jsonl")}, &out, &errb, nil)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}

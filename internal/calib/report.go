@@ -1,0 +1,43 @@
+package calib
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV emits the scorecard as one flat CSV: scalar rows carry the
+// two values and their APE, series rows carry MAPE, Pearson r and the
+// paired point count. One file holds the whole calibration result, so a
+// CI artifact or a spreadsheet needs no joins.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,metric,sim,live,ape,mape,pearson,points"); err != nil {
+		return err
+	}
+	for _, s := range r.Scalars {
+		if _, err := fmt.Fprintf(w, "scalar,%s,%g,%g,%g,,,\n", s.Name, s.Sim, s.Live, s.APE); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		if _, err := fmt.Fprintf(w, "series,%s,,,,%g,%g,%d\n", s.Name, s.MAPE, s.Pearson, s.Points); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the scorecard as an aligned text table for terminals
+// and READMEs.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %12s %8s\n", "metric", "sim", "live", "APE")
+	for _, s := range r.Scalars {
+		fmt.Fprintf(&b, "%-14s %12.4g %12.4g %7.1f%%\n", s.Name, s.Sim, s.Live, 100*s.APE)
+	}
+	fmt.Fprintf(&b, "%-14s %12s %12s %8s\n", "series", "MAPE", "Pearson r", "points")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%-14s %11.1f%% %12.3f %8d\n", s.Name, 100*s.MAPE, s.Pearson, s.Points)
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"churnlb/internal/workload"
 )
@@ -25,9 +26,18 @@ type NetTransport struct {
 	tasks     []chan TaskBundle
 	mu        sync.Mutex
 	taskConns map[[2]int]net.Conn
-	closed    chan struct{}
-	once      sync.Once
-	wg        sync.WaitGroup
+	// accepted tracks the receive side of every task connection so Close
+	// can unblock readTasks goroutines parked in io.ReadFull even when the
+	// dialling peer (possibly an external client) never closes its end.
+	accepted map[net.Conn]struct{}
+	closed   chan struct{}
+	once     sync.Once
+	chOnce   sync.Once
+	wg       sync.WaitGroup
+	// decodeErrs counts task-frame decode failures. A TCP stream cannot
+	// resynchronise after a corrupt frame, so the connection is dropped —
+	// the counter is how operators see it happened.
+	decodeErrs atomic.Uint64
 }
 
 // NewNetTransport binds loopback sockets for n nodes and starts their
@@ -42,6 +52,7 @@ func NewNetTransport(n int) (*NetTransport, error) {
 		state:     make([]chan StatePacket, n),
 		tasks:     make([]chan TaskBundle, n),
 		taskConns: map[[2]int]net.Conn{},
+		accepted:  map[net.Conn]struct{}{},
 		closed:    make(chan struct{}),
 	}
 	for i := 0; i < n; i++ {
@@ -98,44 +109,64 @@ func (t *NetTransport) acceptLoop(i int) {
 		if err != nil {
 			return
 		}
+		t.mu.Lock()
+		select {
+		case <-t.closed:
+			// Raced with Close after the final listener sweep: drop the
+			// connection here or nobody ever will.
+			t.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		t.accepted[conn] = struct{}{}
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go t.readTasks(i, conn)
 	}
 }
 
 // readTasks consumes length-prefixed frames: [4B total length][2B from]
-// [4B count][count serialised tasks].
+// [4B count][count serialised tasks]. io.ReadFull rides out partial
+// reads; a mid-frame connection drop or a frame DecodeTaskFrame rejects
+// ends the connection with the failure counted in DecodeErrors — a TCP
+// stream cannot resynchronise past a corrupt frame, so dropping the
+// connection (the dialler re-dials) is the only safe recovery.
 func (t *NetTransport) readTasks(i int, conn net.Conn) {
 	defer t.wg.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
 	var hdr [4]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			if err != io.EOF && !t.closing() {
+				// EOF between frames is a clean shutdown; anything else —
+				// including ErrUnexpectedEOF from a partial header — is a
+				// mid-frame drop. Errors from Close tearing the socket
+				// down under us are shutdown, not corruption.
+				t.decodeErrs.Add(1)
+			}
 			return
 		}
 		size := binary.BigEndian.Uint32(hdr[:])
-		if size < 6 || size > 64<<20 {
-			return // corrupt frame
+		if size < taskFrameHeader || size > maxTaskFrame {
+			t.decodeErrs.Add(1)
+			return // corrupt length prefix
 		}
 		frame := make([]byte, size)
 		if _, err := io.ReadFull(conn, frame); err != nil {
+			if !t.closing() {
+				t.decodeErrs.Add(1) // connection dropped mid-frame
+			}
 			return
 		}
-		from := int(binary.BigEndian.Uint16(frame))
-		count := int(binary.BigEndian.Uint32(frame[2:]))
-		payload := frame[6:]
-		tasks := make([]workload.Task, 0, count)
-		ok := true
-		for k := 0; k < count; k++ {
-			task, rest, err := workload.DecodeTask(payload)
-			if err != nil {
-				ok = false
-				break
-			}
-			tasks = append(tasks, task)
-			payload = rest
-		}
-		if !ok {
+		from, tasks, err := DecodeTaskFrame(frame)
+		if err != nil {
+			t.decodeErrs.Add(1)
 			return
 		}
 		select {
@@ -145,6 +176,20 @@ func (t *NetTransport) readTasks(i int, conn net.Conn) {
 		}
 	}
 }
+
+// closing reports whether Close has begun tearing the transport down.
+func (t *NetTransport) closing() bool {
+	select {
+	case <-t.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// DecodeErrors reports how many task connections were dropped on corrupt
+// or truncated frames since the transport started.
+func (t *NetTransport) DecodeErrors() uint64 { return t.decodeErrs.Load() }
 
 // SendState implements Transport over UDP datagrams.
 func (t *NetTransport) SendState(from int, p StatePacket) {
@@ -167,15 +212,7 @@ func (t *NetTransport) SendTasks(from, to int, tasks []workload.Task) error {
 	if err != nil {
 		return err
 	}
-	payload := make([]byte, 6)
-	binary.BigEndian.PutUint16(payload, uint16(from))
-	binary.BigEndian.PutUint32(payload[2:], uint32(len(tasks)))
-	for _, task := range tasks {
-		payload = task.AppendWire(payload)
-	}
-	frame := make([]byte, 4, 4+len(payload))
-	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
-	frame = append(frame, payload...)
+	frame := AppendTaskFrame(nil, from, tasks)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, err := conn.Write(frame); err != nil {
@@ -206,7 +243,10 @@ func (t *NetTransport) State(i int) <-chan StatePacket { return t.state[i] }
 // Tasks implements Transport.
 func (t *NetTransport) Tasks(i int) <-chan TaskBundle { return t.tasks[i] }
 
-// Close implements Transport.
+// Close implements Transport: it stops the loops, waits for every
+// goroutine that could still send, and only then closes the state and
+// task channels — so receivers ranging over them terminate cleanly and
+// no send can race the close.
 func (t *NetTransport) Close() error {
 	t.once.Do(func() {
 		close(t.closed)
@@ -225,8 +265,25 @@ func (t *NetTransport) Close() error {
 			c.Close()
 			delete(t.taskConns, k)
 		}
+		for c := range t.accepted {
+			// Unblock readTasks goroutines whose dialling peer is not one
+			// of our cached conns (an external client, or a peer that
+			// already leaked its end).
+			c.Close()
+		}
 		t.mu.Unlock()
 	})
 	t.wg.Wait()
+	// All senders (udpLoop, readTasks) have exited: the close below cannot
+	// race a send. Guard with a second once so concurrent Close calls
+	// don't double-close.
+	t.chOnce.Do(func() {
+		for _, ch := range t.state {
+			close(ch)
+		}
+		for _, ch := range t.tasks {
+			close(ch)
+		}
+	})
 	return nil
 }

@@ -79,6 +79,62 @@ type TaskBundle struct {
 	Tasks []workload.Task
 }
 
+// maxTaskFrame bounds one TCP task frame (length prefix excluded): any
+// larger advertised size is treated as stream corruption rather than
+// allocated.
+const maxTaskFrame = 64 << 20
+
+// taskFrameHeader is the payload header: [2B from][4B count].
+const taskFrameHeader = 2 + 4
+
+// AppendTaskFrame serialises one task frame — [4B payload length]
+// [2B from][4B count][count serialised tasks] — appending to dst. The
+// inverse of DecodeTaskFrame (which takes the payload after the length
+// prefix).
+func AppendTaskFrame(dst []byte, from int, tasks []workload.Task) []byte {
+	payload := make([]byte, taskFrameHeader)
+	binary.BigEndian.PutUint16(payload, uint16(from))
+	binary.BigEndian.PutUint32(payload[2:], uint32(len(tasks)))
+	for _, task := range tasks {
+		payload = task.AppendWire(payload)
+	}
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(len(payload)))
+	dst = append(dst, b[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeTaskFrame parses one frame payload (the bytes after the 4-byte
+// length prefix). It rejects, with an error rather than a desync or an
+// unbounded allocation: short headers, task counts that cannot fit the
+// remaining bytes (each serialised task is at least workload.MinTaskWire
+// bytes), truncated task records, and trailing garbage after the last
+// task.
+func DecodeTaskFrame(payload []byte) (from int, tasks []workload.Task, err error) {
+	if len(payload) < taskFrameHeader {
+		return 0, nil, fmt.Errorf("cluster: task frame header truncated (%d bytes)", len(payload))
+	}
+	from = int(binary.BigEndian.Uint16(payload))
+	count := int(binary.BigEndian.Uint32(payload[2:]))
+	rest := payload[taskFrameHeader:]
+	if count < 0 || count > len(rest)/workload.MinTaskWire {
+		return 0, nil, fmt.Errorf("cluster: task frame advertises %d tasks in %d payload bytes", count, len(rest))
+	}
+	tasks = make([]workload.Task, 0, count)
+	for k := 0; k < count; k++ {
+		var task workload.Task
+		task, rest, err = workload.DecodeTask(rest)
+		if err != nil {
+			return 0, nil, fmt.Errorf("cluster: task %d/%d: %w", k, count, err)
+		}
+		tasks = append(tasks, task)
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("cluster: %d trailing bytes after %d tasks", len(rest), count)
+	}
+	return from, tasks, nil
+}
+
 // Transport moves state packets (best-effort, like the paper's UDP
 // exchange) and task bundles (reliable, like the paper's TCP transfers)
 // between nodes.
@@ -102,10 +158,16 @@ type Transport interface {
 // delivery for tasks. It exercises identical node logic to the socket
 // transport without kernel involvement, so unit tests stay fast.
 type ChanTransport struct {
-	n      int
-	state  []chan StatePacket
-	tasks  []chan TaskBundle
+	n     int
+	state []chan StatePacket
+	tasks []chan TaskBundle
+	// closed unblocks senders parked on a full (tasks) channel; mu +
+	// down order sends against the channel close in Close — senders hold
+	// the read side for the duration of a send, so Close's write lock
+	// cannot close a channel mid-send.
 	closed chan struct{}
+	mu     sync.RWMutex
+	down   bool
 	once   sync.Once
 }
 
@@ -128,6 +190,11 @@ func NewChanTransport(n int) *ChanTransport {
 // in-process so the wire format is exercised on every path.
 func (t *ChanTransport) SendState(from int, p StatePacket) {
 	buf := p.AppendWire(nil)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.down {
+		return
+	}
 	for i := 0; i < t.n; i++ {
 		if i == from {
 			continue
@@ -165,6 +232,11 @@ func (t *ChanTransport) SendTasks(from, to int, tasks []workload.Task) error {
 		decoded = append(decoded, task)
 		buf = rest
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.down {
+		return fmt.Errorf("cluster: transport closed")
+	}
 	select {
 	case t.tasks[to] <- TaskBundle{From: from, Tasks: decoded}:
 		return nil
@@ -179,8 +251,22 @@ func (t *ChanTransport) State(i int) <-chan StatePacket { return t.state[i] }
 // Tasks implements Transport.
 func (t *ChanTransport) Tasks(i int) <-chan TaskBundle { return t.tasks[i] }
 
-// Close implements Transport.
+// Close implements Transport. closed is signalled before the write lock
+// is taken, so a sender parked on a full tasks channel (holding the read
+// lock) wakes via the closed case and releases the lock Close is
+// waiting on — then the channels close with no sender in flight.
 func (t *ChanTransport) Close() error {
-	t.once.Do(func() { close(t.closed) })
+	t.once.Do(func() {
+		close(t.closed)
+		t.mu.Lock()
+		t.down = true
+		for _, ch := range t.state {
+			close(ch)
+		}
+		for _, ch := range t.tasks {
+			close(ch)
+		}
+		t.mu.Unlock()
+	})
 	return nil
 }

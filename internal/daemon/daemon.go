@@ -1,0 +1,862 @@
+// Package daemon is the live serving system built on the paper's wire
+// transport: real worker goroutine-processes executing workload.Matrix
+// tasks, gossiping their state in 23-byte UDP packets and shipping task
+// payloads over length-prefixed TCP frames (cluster.NetTransport), a
+// dispatcher routing arrivals through the policy.Router family against a
+// live model.StateView folded from incoming state packets, and a churn
+// controller killing and recovering workers on the same laws as the
+// simulator — graceful drain on recovery, eq.-(8)-style transfer of the
+// queued backlog on failure.
+//
+// Where internal/cluster is a closed testbed (a fixed initial backlog
+// drains once), the daemon is the open system of the serving layer: a
+// recorded arrival trace (or HTTP clients, see httpapi.go) injects work
+// continuously, and the same metrics.Collector the simulator uses
+// measures it — which is what makes the sim-vs-live calibration harness
+// in internal/calib possible: one trace, two systems, comparable
+// telemetry.
+package daemon
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"churnlb/internal/cluster"
+	"churnlb/internal/metrics"
+	"churnlb/internal/model"
+	"churnlb/internal/policy"
+	"churnlb/internal/sim"
+	"churnlb/internal/workload"
+	"churnlb/internal/xrand"
+)
+
+// Options configures one daemon run.
+type Options struct {
+	// Params describes the worker fleet: per-worker processing, failure
+	// and recovery rates in virtual seconds, plus the transfer delay δ.
+	Params model.Params
+	// Router dispatches arrivals (nil = uniformly random worker).
+	Router policy.Router
+	// Policy is the balancing policy whose eq.-(8) failure plan the churn
+	// controller executes when a worker dies (nil = no balancing).
+	Policy policy.Policy
+	// ChurnLaw selects the up/down duration law, mirroring sim.ChurnLaw:
+	// exponential (default), Weibull shape 2, or deterministic means.
+	ChurnLaw sim.ChurnLaw
+	// Trace is the recorded arrival schedule, in virtual seconds; entry
+	// batches default to Batch, then 1. The daemon replays it in wall
+	// time through TimeScale and shuts down once the trace is exhausted
+	// and the backlog drains. An empty trace starts an idle daemon that
+	// serves HTTP arrivals until Interrupt fires.
+	Trace []sim.ArrivalAt
+	// Batch is the default tasks-per-arrival for trace entries without
+	// their own.
+	Batch int
+	// TimeScale maps virtual seconds to wall clock: v virtual seconds
+	// take v/TimeScale wall seconds. Default 200.
+	TimeScale float64
+	// StateInterval is the virtual-seconds period of each worker's UDP
+	// state broadcast. Default 1.
+	StateInterval float64
+	// MatrixDim and MeanPrecision configure the matrix workload.
+	// Defaults: 16 and 50.
+	MatrixDim     int
+	MeanPrecision float64
+	// RealCompute executes the actual row-times-matrix arithmetic and
+	// derives service time from each task's precision instead of
+	// sampling it.
+	RealCompute bool
+	// Window is the telemetry window width in virtual seconds; 0 derives
+	// span/100 (at least 0.1).
+	Window float64
+	// Seed drives every random stream.
+	Seed uint64
+	// Transport carries the wire traffic; nil binds a NetTransport over
+	// real loopback sockets (the default — this is the live system). The
+	// transport must have N()+1 endpoints: workers 0..n-1 plus the
+	// dispatcher at n. A transport the run created is closed on exit;
+	// a supplied one is not.
+	Transport cluster.Transport
+	// HTTPAddr, when non-empty, serves the front door (POST /task,
+	// GET /state, /metrics, /healthz) on that address.
+	HTTPAddr string
+	// OnHTTPAddr, when non-nil, receives the bound front-door address
+	// once listening (useful with HTTPAddr port 0).
+	OnHTTPAddr func(addr string)
+	// Interrupt, when non-nil, requests graceful shutdown once closed:
+	// the arrival stream stops, queued work drains, telemetry flushes.
+	Interrupt <-chan struct{}
+	// MaxWall aborts a wedged run. Default 2 minutes.
+	MaxWall time.Duration
+}
+
+// Result reports a completed daemon run.
+type Result struct {
+	// Summary and Windows are the live telemetry, in virtual seconds —
+	// directly comparable with a serve.Result driven by the same trace.
+	Summary metrics.Summary
+	Windows []metrics.WindowStats
+	// Processed counts tasks executed per worker.
+	Processed []int
+	// Failures and Recoveries count churn events; TransfersSent and
+	// TasksTransferred the eq.-(8) balancing activity; StatePackets the
+	// state datagrams folded into the dispatcher's live view.
+	Failures, Recoveries            int
+	TransfersSent, TasksTransferred int
+	StatePackets                    int
+	// DecodeErrors counts task connections dropped on corrupt frames
+	// (NetTransport only).
+	DecodeErrors uint64
+	// Injected counts tasks admitted through the dispatcher (trace plus
+	// HTTP); Interrupted reports an early Interrupt cut the stream.
+	Injected    int
+	Interrupted bool
+}
+
+// dispatcherID returns the transport index of the dispatcher for an
+// n-worker fleet.
+func dispatcherID(n int) int { return n }
+
+// peer is the dispatcher's view of one worker, folded from its state
+// packets.
+type peer struct {
+	queueLen uint32
+	up       bool
+	seq      uint32
+}
+
+// taskMeta tracks one in-system task for the telemetry observer.
+type taskMeta struct {
+	node         int
+	arrival      float64
+	firstService float64 // -1 until first pop
+}
+
+// worker is one live serving process.
+type worker struct {
+	id      int
+	mu      sync.Mutex
+	queue   []workload.Task
+	up      bool
+	kick    chan struct{}
+	failInt chan struct{}
+	seq     uint32
+	rngApp  *xrand.Rand
+	rngLB   *xrand.Rand
+	// processedCount counts tasks this worker executed (guarded by mu).
+	processedCount int
+}
+
+type run struct {
+	opt       Options
+	p         model.Params
+	n         int
+	workers   []*worker
+	transport cluster.Transport
+	ownsTrans bool
+	matrix    *workload.Matrix
+	fplan     *policy.FailurePlan
+	start     time.Time
+
+	// peers is the dispatcher's live state view; peersMu guards it and
+	// the dispatcher's router state (routers may be stateful).
+	peersMu sync.Mutex
+	peers   []peer
+	router  policy.Router
+	rngRoot *xrand.Rand
+
+	// col is the telemetry collector; it is single-goroutine by design,
+	// so colMu serialises every observer hook. tasks maps in-system task
+	// IDs to their lifecycle record, and gen (also under colMu) mints the
+	// task payloads.
+	colMu sync.Mutex
+	col   *metrics.Collector
+	tasks map[uint64]*taskMeta
+	gen   *workload.Generator
+
+	injected       int64
+	processedTotal int64
+	failures       int64
+	recoveries     int64
+	transfersSent  int64
+	tasksMoved     int64
+	statePackets   int64
+	arrivalsClosed atomic.Bool
+	interrupted    atomic.Bool
+
+	// spin enables the precision spin-wait tail: only when the machine
+	// has more cores than workers, so spinning cannot starve the fleet.
+	spin bool
+
+	stop     chan struct{}
+	doneCh   chan struct{}
+	doneOnce sync.Once
+	doneAtV  float64
+	httpAddr atomic.Value // string: bound front-door address
+
+	wg sync.WaitGroup
+}
+
+// Run executes one daemon lifetime: spin up the fleet, replay the trace
+// (and serve HTTP if configured), drain, and report. Blocks until the
+// workload completes, Interrupt drains the system, or MaxWall expires
+// (an error).
+func Run(opt Options) (*Result, error) {
+	if err := opt.Params.Validate(); err != nil {
+		return nil, err
+	}
+	n := opt.Params.N()
+	if opt.TimeScale <= 0 {
+		opt.TimeScale = 200
+	}
+	if opt.StateInterval <= 0 {
+		opt.StateInterval = 1
+	}
+	if opt.MatrixDim <= 0 {
+		opt.MatrixDim = 16
+	}
+	if opt.MeanPrecision <= 0 {
+		opt.MeanPrecision = 50
+	}
+	if opt.MaxWall <= 0 {
+		opt.MaxWall = 2 * time.Minute
+	}
+	if opt.Batch <= 0 {
+		opt.Batch = 1
+	}
+	if opt.Policy == nil {
+		opt.Policy = policy.NoBalance{}
+	}
+	span := 1.0
+	if len(opt.Trace) > 0 {
+		if t := opt.Trace[len(opt.Trace)-1].Time; t > span {
+			span = t
+		}
+	}
+	window := opt.Window
+	if window <= 0 {
+		window = span / 100
+		if window < 0.1 {
+			window = 0.1
+		}
+	}
+
+	c := &run{
+		opt:     opt,
+		p:       opt.Params,
+		n:       n,
+		matrix:  workload.NewMatrix(opt.MatrixDim, opt.Seed^0x9e37),
+		peers:   make([]peer, n),
+		router:  opt.Router,
+		rngRoot: xrand.NewStream(opt.Seed, 0xD15),
+		col:     metrics.NewCollector(n, window),
+		tasks:   make(map[uint64]*taskMeta),
+		gen:     workload.NewGenerator(opt.MatrixDim, opt.MeanPrecision, xrand.NewStream(opt.Seed, 0xFEED)),
+		stop:    make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	c.transport = opt.Transport
+	if c.transport == nil {
+		tr, err := cluster.NewNetTransport(n + 1)
+		if err != nil {
+			return nil, err
+		}
+		c.transport = tr
+		c.ownsTrans = true
+	}
+
+	for id := 0; id < n; id++ {
+		c.workers = append(c.workers, &worker{
+			id:      id,
+			up:      true,
+			kick:    make(chan struct{}, 1),
+			failInt: make(chan struct{}, 1),
+			rngApp:  xrand.NewStream(opt.Seed, uint64(3*id+1)),
+			rngLB:   xrand.NewStream(opt.Seed, uint64(3*id+3)),
+		})
+		c.peers[id] = peer{up: true}
+	}
+	c.fplan = policy.PlanFor(opt.Policy, c.p)
+	c.spin = runtime.NumCPU() > n+1 // workers plus the dispatcher
+	c.start = time.Now()
+
+	for _, w := range c.workers {
+		c.wg.Add(3)
+		go c.appLoop(w)
+		go c.taskRecvLoop(w)
+		go c.stateLoop(w)
+	}
+	// One churn controller goroutine per churn-prone worker, plus the
+	// dispatcher's state-folding loop and the trace driver.
+	for _, w := range c.workers {
+		if c.p.FailRate[w.id] > 0 {
+			c.wg.Add(1)
+			go c.churnLoop(w, xrand.NewStream(opt.Seed, uint64(3*w.id+2)))
+		}
+	}
+	c.wg.Add(2)
+	go c.dispatcherStateLoop()
+	go c.traceLoop()
+
+	var httpDone func() error
+	if opt.HTTPAddr != "" {
+		var err error
+		httpDone, err = c.serveHTTP(opt.HTTPAddr)
+		if err != nil {
+			c.shutdown()
+			return nil, err
+		}
+	}
+
+	var err error
+	select {
+	case <-c.doneCh:
+	case <-time.After(opt.MaxWall):
+		err = fmt.Errorf("daemon: run exceeded MaxWall=%v with %d/%d tasks done",
+			opt.MaxWall, atomic.LoadInt64(&c.processedTotal), atomic.LoadInt64(&c.injected))
+	}
+	c.shutdown()
+	if httpDone != nil {
+		httpDone()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Processed:        make([]int, n),
+		Failures:         int(atomic.LoadInt64(&c.failures)),
+		Recoveries:       int(atomic.LoadInt64(&c.recoveries)),
+		TransfersSent:    int(atomic.LoadInt64(&c.transfersSent)),
+		TasksTransferred: int(atomic.LoadInt64(&c.tasksMoved)),
+		StatePackets:     int(atomic.LoadInt64(&c.statePackets)),
+		Injected:         int(atomic.LoadInt64(&c.injected)),
+		Interrupted:      c.interrupted.Load(),
+	}
+	if nt, ok := c.transport.(*cluster.NetTransport); ok {
+		res.DecodeErrors = nt.DecodeErrors()
+	}
+	c.colMu.Lock()
+	res.Summary = c.col.Finalize(c.doneAtV)
+	res.Windows = c.col.Windows()
+	c.colMu.Unlock()
+	for i, w := range c.workers {
+		res.Processed[i] = c.processedOf(w)
+	}
+	return res, nil
+}
+
+func (c *run) shutdown() {
+	select {
+	case <-c.stop:
+		return // already down
+	default:
+	}
+	close(c.stop)
+	for _, w := range c.workers {
+		kick(w.kick)
+	}
+	if c.ownsTrans {
+		c.transport.Close()
+	}
+	c.wg.Wait()
+}
+
+// now returns the virtual clock.
+func (c *run) now() float64 {
+	return time.Since(c.start).Seconds() * c.opt.TimeScale
+}
+
+// wall converts virtual seconds to wall duration.
+func (c *run) wall(v float64) time.Duration {
+	return time.Duration(v / c.opt.TimeScale * float64(time.Second))
+}
+
+func kick(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+func (c *run) finish() {
+	c.doneOnce.Do(func() {
+		c.doneAtV = c.now()
+		close(c.doneCh)
+	})
+}
+
+// maybeFinish closes the run when the arrival stream has ended and
+// every admitted task completed.
+func (c *run) maybeFinish() {
+	if c.arrivalsClosed.Load() &&
+		atomic.LoadInt64(&c.processedTotal) == atomic.LoadInt64(&c.injected) {
+		c.finish()
+	}
+}
+
+type sleepOutcome int
+
+const (
+	sleptFull sleepOutcome = iota
+	sleepInterrupted
+	sleepStopped
+)
+
+// spinThreshold is the spin-waited tail of a wait when spinning is
+// affordable: OS timers have a ~1 ms floor, which at high TimeScale
+// would stretch sub-millisecond service times and bias the live system
+// away from the model it is calibrated against.
+const spinThreshold = 2 * time.Millisecond
+
+// preciseWait waits d of wall time, honouring an optional interrupt (the
+// worker's failure signal) and the run's stop channel.
+//
+// When the machine has CPU headroom (more cores than workers — c.spin),
+// the final spinThreshold of every wait is spin-waited for precision,
+// like the cluster testbed. Without headroom, spinning n workers
+// serialises the whole fleet on the scheduler — each spin excludes every
+// other worker's progress — so the wait is pure timer and the timer
+// floor (~1 ms) becomes the resolution limit instead: calibration runs
+// on small machines should pick a TimeScale that keeps mean service
+// times well above it.
+func (c *run) preciseWait(d time.Duration, interrupt <-chan struct{}) sleepOutcome {
+	deadline := time.Now().Add(d)
+	coarse := d
+	if c.spin {
+		coarse -= spinThreshold
+	}
+	if coarse > 0 {
+		t := time.NewTimer(coarse)
+		select {
+		case <-t.C:
+		case <-interrupt: // nil channel when no interrupt: never fires
+			t.Stop()
+			return sleepInterrupted
+		case <-c.stop:
+			t.Stop()
+			return sleepStopped
+		}
+	}
+	if !c.spin {
+		return sleptFull
+	}
+	for time.Now().Before(deadline) {
+		select {
+		case <-interrupt:
+			return sleepInterrupted
+		case <-c.stop:
+			return sleepStopped
+		default:
+		}
+	}
+	return sleptFull
+}
+
+// sleepV waits v virtual seconds; false means the run stopped.
+func (c *run) sleepV(v float64) bool {
+	return c.preciseWait(c.wall(v), nil) == sleptFull
+}
+
+func (c *run) processedOf(w *worker) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int(w.processedCount)
+}
+
+// --- worker loops (the live mirror of internal/cluster's CE layers) ---
+
+// appLoop is the application layer: pop, execute for an exponentially
+// distributed service time (or the real arithmetic), report completion.
+// A failure interrupt re-queues the in-progress task at the head — the
+// backup process preserving work across failures.
+func (c *run) appLoop(w *worker) {
+	defer c.wg.Done()
+	rate := c.p.ProcRate[w.id]
+	for {
+		w.mu.Lock()
+		for !(w.up && len(w.queue) > 0) {
+			w.mu.Unlock()
+			select {
+			case <-w.kick:
+			case <-c.stop:
+				return
+			}
+			w.mu.Lock()
+		}
+		task := w.queue[0]
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+		c.noteFirstService(task.ID)
+
+		var v float64
+		if c.opt.RealCompute {
+			v = workload.VirtualSeconds(task, c.opt.MeanPrecision, rate)
+		} else {
+			v = w.rngApp.Exp(rate)
+		}
+		switch c.preciseWait(c.wall(v), w.failInt) {
+		case sleptFull:
+			if c.opt.RealCompute {
+				c.matrix.MultiplyTask(task)
+			}
+			w.mu.Lock()
+			w.processedCount++
+			w.mu.Unlock()
+			c.noteCompleted(w.id, task.ID)
+			atomic.AddInt64(&c.processedTotal, 1)
+			c.maybeFinish()
+		case sleepInterrupted:
+			w.mu.Lock()
+			w.queue = append([]workload.Task{task}, w.queue...)
+			w.mu.Unlock()
+		case sleepStopped:
+			return
+		}
+	}
+}
+
+// churnLoop is the churn controller's per-worker process: alternate up
+// and down periods drawn from the configured law, execute the eq.-(8)
+// failure plan when the worker dies, and kick a graceful drain when it
+// recovers.
+func (c *run) churnLoop(w *worker, rng *xrand.Rand) {
+	defer c.wg.Done()
+	for {
+		if !c.sleepV(c.churnSample(rng, 1/c.p.FailRate[w.id])) {
+			return
+		}
+		w.mu.Lock()
+		w.up = false
+		queued := len(w.queue)
+		w.mu.Unlock()
+		kick(w.failInt)
+		atomic.AddInt64(&c.failures, 1)
+		c.noteChurn(w.id, false)
+		c.broadcastState(w)
+		if c.fplan != nil {
+			c.execTransfers(w, c.fplan.Transfers(nil, w.id, queued))
+		}
+
+		if !c.sleepV(c.churnSample(rng, 1/c.p.RecRate[w.id])) {
+			return
+		}
+		w.mu.Lock()
+		w.up = true
+		w.mu.Unlock()
+		select {
+		case <-w.failInt: // drain a stale interrupt
+		default:
+		}
+		atomic.AddInt64(&c.recoveries, 1)
+		c.noteChurn(w.id, true)
+		// Graceful drain: the recovered worker resumes its preserved
+		// backlog before anything else reaches it.
+		kick(w.kick)
+		c.broadcastState(w)
+	}
+}
+
+// churnSample mirrors sim.churnSample exactly: the same three laws with
+// the same mean, so a live churn episode is statistically the one the
+// simulator twin draws (and, under the deterministic law, numerically
+// the one).
+func (c *run) churnSample(rng *xrand.Rand, mean float64) float64 {
+	switch c.opt.ChurnLaw {
+	case sim.ChurnWeibull:
+		return rng.Weibull(2, mean/math.Gamma(1.5))
+	case sim.ChurnDeterministic:
+		return mean
+	default:
+		return rng.ExpMean(mean)
+	}
+}
+
+// execTransfers ships the eq.-(8) transfers whose source is this worker:
+// detach from the queue tail (the head may be in service) and deliver
+// over the reliable task path after the channel's random delay.
+func (c *run) execTransfers(w *worker, trs []model.Transfer) {
+	for _, tr := range trs {
+		if tr.From != w.id || tr.To == tr.From || tr.Tasks <= 0 {
+			continue
+		}
+		if tr.To < 0 || tr.To >= c.n {
+			continue
+		}
+		w.mu.Lock()
+		k := tr.Tasks
+		if k > len(w.queue) {
+			k = len(w.queue)
+		}
+		var tasks []workload.Task
+		if k > 0 {
+			tasks = append([]workload.Task(nil), w.queue[len(w.queue)-k:]...)
+			w.queue = w.queue[:len(w.queue)-k]
+		}
+		w.mu.Unlock()
+		if k == 0 {
+			continue
+		}
+		atomic.AddInt64(&c.transfersSent, 1)
+		atomic.AddInt64(&c.tasksMoved, int64(k))
+		c.noteTransferOut(w.id, tr.To, k)
+		delay := w.rngLB.ExpMean(c.p.DelayPerTask * float64(k))
+		to := tr.To
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			if !c.sleepV(delay) {
+				return
+			}
+			_ = c.transport.SendTasks(w.id, to, tasks)
+		}()
+	}
+}
+
+// taskRecvLoop is the worker's receive side of the reliable task path:
+// dispatcher bundles are fresh arrivals, peer bundles are eq.-(8)
+// transfers landing.
+func (c *run) taskRecvLoop(w *worker) {
+	defer c.wg.Done()
+	for {
+		select {
+		case b, ok := <-c.transport.Tasks(w.id):
+			if !ok {
+				return
+			}
+			w.mu.Lock()
+			w.queue = append(w.queue, b.Tasks...)
+			w.mu.Unlock()
+			if b.From != dispatcherID(c.n) {
+				c.noteTransferIn(w.id, len(b.Tasks))
+			}
+			kick(w.kick)
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// stateLoop periodically broadcasts this worker's 23-byte state packet —
+// the paper's UDP state-information exchange, for real when the
+// transport is a NetTransport.
+func (c *run) stateLoop(w *worker) {
+	defer c.wg.Done()
+	period := c.wall(c.opt.StateInterval)
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			c.broadcastState(w)
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+func (c *run) broadcastState(w *worker) {
+	w.mu.Lock()
+	w.seq++
+	pkt := cluster.StatePacket{
+		From:      uint16(w.id),
+		Seq:       w.seq,
+		QueueLen:  uint32(len(w.queue)),
+		Up:        w.up,
+		RateMilli: uint32(c.p.ProcRate[w.id] * 1000),
+		TimeMs:    uint64(c.now() * 1000),
+	}
+	w.mu.Unlock()
+	c.transport.SendState(w.id, pkt)
+}
+
+// --- dispatcher ---
+
+// dispatcherStateLoop folds incoming state packets into the live peer
+// table the router reads — the dispatcher's only knowledge of the fleet,
+// exactly as stale as the wire makes it.
+func (c *run) dispatcherStateLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case p, ok := <-c.transport.State(dispatcherID(c.n)):
+			if !ok {
+				return
+			}
+			atomic.AddInt64(&c.statePackets, 1)
+			from := int(p.From)
+			c.peersMu.Lock()
+			if from >= 0 && from < c.n && p.Seq >= c.peers[from].seq {
+				c.peers[from] = peer{queueLen: p.QueueLen, up: p.Up, seq: p.Seq}
+			}
+			c.peersMu.Unlock()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// liveSnapshot materialises the dispatcher's current StateView. Callers
+// must hold peersMu.
+func (c *run) liveSnapshot() model.SnapshotView {
+	s := model.State{
+		Time:   c.now(),
+		Queues: make([]int, c.n),
+		Up:     make([]bool, c.n),
+	}
+	for i, p := range c.peers {
+		s.Queues[i] = int(p.queueLen)
+		s.Up[i] = p.up
+	}
+	return model.SnapshotView{State: s}
+}
+
+// Inject admits one batch of tasks: route against the live view, record
+// the arrival for telemetry, ship the batch to the chosen worker over
+// the task path. It is the one entry point shared by the trace driver
+// and the HTTP front door. Returns the chosen worker, or an error once
+// the arrival stream has closed.
+func (c *run) Inject(batch int) (int, error) {
+	if batch <= 0 {
+		batch = c.opt.Batch
+	}
+	if c.arrivalsClosed.Load() {
+		return -1, fmt.Errorf("daemon: arrival stream closed")
+	}
+	c.peersMu.Lock()
+	var node int
+	if c.router != nil {
+		node = c.router.Route(c.liveSnapshot(), c.p, c.rngRoot)
+	} else {
+		node = c.rngRoot.Intn(c.n)
+	}
+	if node < 0 || node >= c.n {
+		c.peersMu.Unlock()
+		return -1, fmt.Errorf("daemon: router returned invalid worker %d", node)
+	}
+	// Optimistic local update so back-to-back arrivals between state
+	// packets don't all pile onto the same worker.
+	c.peers[node].queueLen += uint32(batch)
+	c.peersMu.Unlock()
+
+	now := c.now()
+	c.colMu.Lock()
+	tasks := c.gen.Batch(batch)
+	for i := range tasks {
+		c.tasks[tasks[i].ID] = &taskMeta{node: node, arrival: now, firstService: -1}
+	}
+	c.col.TasksArrived(node, batch, now)
+	c.colMu.Unlock()
+	atomic.AddInt64(&c.injected, int64(batch))
+
+	if err := c.transport.SendTasks(dispatcherID(c.n), node, tasks); err != nil {
+		return node, fmt.Errorf("daemon: dispatch to worker %d: %w", node, err)
+	}
+	return node, nil
+}
+
+// traceLoop replays the recorded arrival schedule in wall time, then
+// closes the arrival stream. Interrupt cuts the replay early.
+func (c *run) traceLoop() {
+	defer c.wg.Done()
+	for _, a := range c.opt.Trace {
+		if c.interruptFired() {
+			break
+		}
+		// Absolute pacing against the virtual clock: sleep to the entry's
+		// instant, not by deltas, so pacing error does not accumulate.
+		if d := c.wall(a.Time) - time.Since(c.start); d > 0 {
+			if c.preciseWait(d, c.opt.Interrupt) != sleptFull {
+				break
+			}
+		}
+		batch := a.Batch
+		if batch <= 0 {
+			batch = c.opt.Batch
+		}
+		if _, err := c.Inject(batch); err != nil {
+			break
+		}
+	}
+	if len(c.opt.Trace) > 0 || c.interruptFired() {
+		c.closeArrivals()
+		return
+	}
+	// Idle daemon (no trace): stay open for HTTP until Interrupt/stop.
+	select {
+	case <-c.opt.Interrupt:
+		c.interrupted.Store(true)
+	case <-c.stop:
+	}
+	c.closeArrivals()
+}
+
+func (c *run) interruptFired() bool {
+	select {
+	case <-c.opt.Interrupt:
+		c.interrupted.Store(true)
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *run) closeArrivals() {
+	c.arrivalsClosed.Store(true)
+	c.maybeFinish()
+}
+
+// --- telemetry hooks (colMu serialises the single-goroutine Collector;
+// its integrator tolerates the slightly out-of-order timestamps real
+// concurrency produces) ---
+
+func (c *run) noteFirstService(id uint64) {
+	now := c.now()
+	c.colMu.Lock()
+	if m := c.tasks[id]; m != nil && m.firstService < 0 {
+		m.firstService = now
+	}
+	c.colMu.Unlock()
+}
+
+func (c *run) noteCompleted(node int, id uint64) {
+	now := c.now()
+	c.colMu.Lock()
+	if m := c.tasks[id]; m != nil {
+		fs := m.firstService
+		if fs < 0 {
+			fs = now
+		}
+		c.col.TaskCompleted(node, m.arrival, fs, now)
+		delete(c.tasks, id)
+	}
+	c.colMu.Unlock()
+}
+
+func (c *run) noteChurn(node int, up bool) {
+	now := c.now()
+	c.colMu.Lock()
+	c.col.NodeStateChanged(node, up, now)
+	c.colMu.Unlock()
+}
+
+func (c *run) noteTransferOut(from, to, tasks int) {
+	now := c.now()
+	c.colMu.Lock()
+	c.col.TransferDeparted(from, to, tasks, now)
+	c.colMu.Unlock()
+}
+
+func (c *run) noteTransferIn(node, tasks int) {
+	now := c.now()
+	c.colMu.Lock()
+	c.col.TransferArrived(node, tasks, now)
+	c.colMu.Unlock()
+}

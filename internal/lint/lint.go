@@ -60,12 +60,14 @@ var deterministicPkgs = []string{
 	modulePath + "/internal/stats",
 	modulePath + "/internal/xrand",
 	modulePath + "/internal/obs",
+	modulePath + "/internal/calib",
 }
 
 // exemptPkgs are outside every contract: real-time transport and CLIs,
 // where wall clocks and formatting are the point.
 var exemptPkgs = []string{
 	modulePath + "/internal/cluster",
+	modulePath + "/internal/daemon",
 	modulePath + "/cmd",
 	modulePath + "/examples",
 }

@@ -33,6 +33,11 @@ const (
 	// ModeMCScenario is a generated-cluster Monte-Carlo study
 	// (lbsim -scenario -reps > 1).
 	ModeMCScenario = "mc-scenario"
+	// ModeDaemon is a live daemon calibration run (lbd): Metrics holds
+	// the deterministic simulator-twin fingerprint a replay re-derives;
+	// the live side's measurements live in LiveMetrics, informational
+	// only.
+	ModeDaemon = "daemon"
 )
 
 // ScenarioRef pins a generated cluster scenario: the scenario generator
@@ -129,6 +134,18 @@ type Manifest struct {
 	Window        float64 `json:"window,omitempty"`
 	WaveAmplitude float64 `json:"wave_amplitude,omitempty"`
 	WavePeriod    float64 `json:"wave_period,omitempty"`
+
+	// Daemon-mode (lbd) extras. Balance names the balancing policy
+	// (Policy names the router there); TimeScale and StateInterval are
+	// the live run's wall-clock knobs, recorded for provenance — the
+	// simulator twin has no use for them.
+	Balance       string  `json:"balance,omitempty"`
+	TimeScale     float64 `json:"time_scale,omitempty"`
+	StateInterval float64 `json:"state_interval,omitempty"`
+	// LiveMetrics holds the live daemon's measurements and calibration
+	// scores. A live system is not replayable, so unlike Metrics these
+	// are never compared on replay.
+	LiveMetrics map[string]float64 `json:"live_metrics,omitempty"`
 
 	// Metrics holds the run's summary numbers keyed by stable names.
 	// JSON round-trips float64 exactly (shortest form), so a

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"churnlb"
+	"churnlb/internal/calib"
 	"churnlb/internal/des"
 	"churnlb/internal/mc"
 	"churnlb/internal/model"
@@ -172,6 +173,62 @@ func RefSystem(r *obs.SystemRef) (churnlb.System, error) {
 		})
 	}
 	return s, nil
+}
+
+// ParamsFromRef rebuilds internal model parameters from a manifest's
+// system block — the daemon path works in model.Params directly rather
+// than through the public System type.
+func ParamsFromRef(r *obs.SystemRef) (model.Params, error) {
+	if r == nil {
+		return model.Params{}, fmt.Errorf("rerun: manifest records no system")
+	}
+	if len(r.ProcRate) != len(r.FailRate) || len(r.ProcRate) != len(r.RecRate) {
+		return model.Params{}, fmt.Errorf("rerun: system ref has mismatched rate vectors")
+	}
+	p := model.Params{
+		ProcRate:     append([]float64(nil), r.ProcRate...),
+		FailRate:     append([]float64(nil), r.FailRate...),
+		RecRate:      append([]float64(nil), r.RecRate...),
+		DelayPerTask: r.DelayPerTask,
+	}
+	return p, p.Validate()
+}
+
+// rerunDaemon replays a daemon manifest's deterministic half: the
+// recorded trace spec regenerates the arrival schedule and the
+// simulator twin re-derives the Metrics fingerprint. The live side
+// (LiveMetrics) is a measurement of a real system and is not replayed.
+func rerunDaemon(m *obs.Manifest, rep *Report) error {
+	p, err := ParamsFromRef(m.System)
+	if err != nil {
+		return err
+	}
+	_, scl, err := ParseChurn(m.Churn)
+	if err != nil {
+		return err
+	}
+	trace, err := calib.TraceSpec{
+		Seed: m.Seed, Rate: m.Rate, Horizon: m.Horizon, Batch: m.Batch,
+	}.Generate()
+	if err != nil {
+		return err
+	}
+	res, err := calib.RunSpec{
+		Params:   p,
+		Router:   m.Policy.Name,
+		D:        m.Policy.D,
+		Balance:  m.Balance,
+		K:        m.Policy.K,
+		ChurnLaw: scl,
+		Trace:    trace,
+		Window:   m.Window,
+		Seed:     m.Seed,
+	}.SimTwin()
+	if err != nil {
+		return err
+	}
+	rep.Metrics = calib.TwinMetrics(res)
+	return nil
 }
 
 // generate regenerates the scenario a manifest pinned.
@@ -359,6 +416,10 @@ func Run(m *obs.Manifest, decisionLog io.Writer) (*Report, error) {
 		}
 	case obs.ModeSimScenario, obs.ModeMCScenario:
 		if err := rerunScenario(m, rep); err != nil {
+			return nil, err
+		}
+	case obs.ModeDaemon:
+		if err := rerunDaemon(m, rep); err != nil {
 			return nil, err
 		}
 	default:

@@ -164,3 +164,59 @@ func TestRerunRejects(t *testing.T) {
 		t.Fatal("unknown policy accepted")
 	}
 }
+
+// TestRerunDaemon: a daemon manifest replays its deterministic half —
+// the simulator twin of the recorded trace — bit-for-bit, while the
+// live measurements ride along uncompared.
+func TestRerunDaemon(t *testing.T) {
+	m := obs.NewManifest("lbd", obs.ModeDaemon)
+	m.Seed = 5
+	m.System = &obs.SystemRef{
+		ProcRate:     []float64{10, 10, 10, 10},
+		FailRate:     []float64{0.25, 0, 0, 0},
+		RecRate:      []float64{0.5, 1, 1, 1},
+		DelayPerTask: 0.01,
+	}
+	m.Policy = obs.PolicyRef{Name: "jsq", K: 0.5}
+	m.Balance = "lbp2"
+	m.Churn = "det"
+	m.Rate = 20
+	m.Batch = 1
+	m.Horizon = 8
+	m.Window = 1
+	m.TimeScale = 5
+	m.StateInterval = 0.5
+	m.LiveMetrics = map[string]float64{"live_p50": 0.044} // never replayed
+
+	record(t, m)
+	if len(m.Metrics) == 0 {
+		t.Fatal("daemon replay produced no twin metrics")
+	}
+	verify(t, m, nil)
+
+	// Perturbing the live side must not break reproduction...
+	m.LiveMetrics["live_p50"] = 99
+	verify(t, m, nil)
+	// ...but perturbing the deterministic fingerprint must.
+	m.Metrics["completed"]++
+	rep, err := Run(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("perturbed twin fingerprint still reproduced")
+	}
+	m.Metrics["completed"]--
+
+	// Malformed daemon manifests error cleanly.
+	bad := obs.NewManifest("lbd", obs.ModeDaemon)
+	bad.Policy = obs.PolicyRef{Name: "jsq"}
+	if _, err := Run(bad, nil); err == nil {
+		t.Fatal("daemon manifest without system ref accepted")
+	}
+	bad.System = m.System
+	bad.Churn = "lunar"
+	if _, err := Run(bad, nil); err == nil {
+		t.Fatal("unknown churn law accepted")
+	}
+}

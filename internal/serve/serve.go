@@ -35,6 +35,12 @@ type Options struct {
 	Rate    float64
 	Batch   int
 	Horizon float64
+	// ArrivalTrace, when non-empty, replaces the Poisson stream with a
+	// recorded schedule (see sim.Options.ArrivalTrace): Rate and Horizon
+	// are then forbidden, the telemetry horizon is the last entry's time,
+	// and the run is the simulator half of the sim-vs-live calibration
+	// harness — the identical trace drives a live daemon cluster.
+	ArrivalTrace []sim.ArrivalAt
 	// WaveAmplitude and WavePeriod modulate the arrival rate
 	// sinusoidally when WavePeriod > 0 (diurnal pattern).
 	WaveAmplitude, WavePeriod float64
@@ -72,6 +78,13 @@ type Options struct {
 	// replications run concurrently and would interleave through one
 	// instrument's state, so it resets the hook.
 	Instrument func(inner sim.TaskObserver) (sim.TaskObserver, sim.DecisionSink)
+	// Interrupt, when non-nil, requests early termination: once the
+	// channel is closed the arrival stream stops at the next event and the
+	// realisation drains what is already queued, so the run still produces
+	// a complete Result (Interrupted reports the cut). The channel is
+	// polled between events — closing it never corrupts a realisation.
+	// Single runs only; RunMany resets it like Instrument.
+	Interrupt <-chan struct{}
 	// failurePlan, when non-nil, is the precomputed eq.-(8) plan shared
 	// across the replications of a RunMany sweep (plans depend only on
 	// Params and are immutable, so concurrent reads are safe). Single
@@ -94,12 +107,34 @@ type Result struct {
 	// Sim is the underlying simulator result (completion time, churn and
 	// transfer counters, per-node processed counts).
 	Sim *sim.Result
+	// Interrupted reports that Options.Interrupt fired: the arrival
+	// stream was cut early and the realisation drained what remained, so
+	// the telemetry covers a shorter run than requested.
+	Interrupted bool
 }
 
 // Run executes one serving realisation. Deterministic for a given seed.
 func Run(opt Options) (*Result, error) {
-	if opt.Rate <= 0 || opt.Horizon <= 0 {
-		return nil, fmt.Errorf("serve: needs positive Rate and Horizon")
+	horizon := opt.Horizon
+	if len(opt.ArrivalTrace) > 0 {
+		if opt.Rate > 0 {
+			return nil, fmt.Errorf("serve: ArrivalTrace and Rate are mutually exclusive")
+		}
+		if horizon <= 0 {
+			// Telemetry horizon defaults to the recorded stream's span.
+			horizon = opt.ArrivalTrace[len(opt.ArrivalTrace)-1].Time
+			if horizon <= 0 {
+				horizon = 1
+			}
+		}
+	} else if opt.Rate <= 0 || opt.Horizon <= 0 {
+		return nil, fmt.Errorf("serve: needs positive Rate and Horizon (or an ArrivalTrace)")
+	}
+	if opt.Interrupt != nil && opt.Shards > 0 {
+		// The sharded engine advances whole conservative windows per step
+		// and has no mid-window arrival cutoff; graceful interruption is a
+		// sequential-engine feature.
+		return nil, fmt.Errorf("serve: Interrupt needs the sequential engine (Shards = 0)")
 	}
 	load := opt.InitialLoad
 	if load == nil {
@@ -107,7 +142,7 @@ func Run(opt Options) (*Result, error) {
 	}
 	window := opt.Window
 	if window <= 0 {
-		window = opt.Horizon / 100
+		window = horizon / 100
 		if window < 0.1 {
 			window = 0.1
 		}
@@ -144,6 +179,7 @@ func Run(opt Options) (*Result, error) {
 		ArrivalBatch:   opt.Batch,
 		ArrivalHorizon: opt.Horizon,
 		ArrivalWave:    sim.Wave{Amplitude: opt.WaveAmplitude, Period: opt.WavePeriod},
+		ArrivalTrace:   opt.ArrivalTrace,
 		Router:         router,
 		TaskObserver:   tobs,
 		DecisionSink:   sink,
@@ -165,7 +201,19 @@ func Run(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	interrupted := false
 	for !r.Done() {
+		if opt.Interrupt != nil && !interrupted {
+			select {
+			case <-opt.Interrupt:
+				// Cut the arrival stream and keep stepping: the queued work
+				// drains, accounting stays conserved, and the Result covers
+				// everything up to the cut.
+				interrupted = true
+				r.(*sim.Realisation).CloseArrivals()
+			default:
+			}
+		}
 		if !r.ProcessNext() {
 			break
 		}
@@ -175,11 +223,12 @@ func Run(opt Options) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Summary:  col.Finalize(out.CompletionTime),
-		Windows:  col.Windows(),
-		Latency:  col.Sketches(),
-		Fairness: col.FairnessCounts(),
-		Sim:      out,
+		Summary:     col.Finalize(out.CompletionTime),
+		Windows:     col.Windows(),
+		Latency:     col.Sketches(),
+		Fairness:    col.FairnessCounts(),
+		Sim:         out,
+		Interrupted: interrupted,
 	}, nil
 }
 
@@ -211,6 +260,7 @@ func RunMany(opt Options, reps, workers int, visit func(rep int, r *Result)) err
 		o.Seed = MixSeed(opt.Seed, rep)
 		o.failurePlan = plan
 		o.Instrument = nil // single-run hook: reps would interleave through it
+		o.Interrupt = nil  // likewise: a shared cut would make reps racy
 		r, err := Run(o)
 		if err != nil {
 			return err

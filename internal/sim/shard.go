@@ -390,6 +390,12 @@ func StartSharded(opt Options) (*Sharded, error) {
 	if opt.DecisionSink != nil {
 		return nil, fmt.Errorf("sim: DecisionSink is not supported on the sharded engine")
 	}
+	if len(opt.ArrivalTrace) > 0 {
+		// The front door draws arrival times domain-locally from thinned
+		// Poisson streams; an explicit recorded schedule has no per-domain
+		// decomposition, so trace replay stays on the sequential engine.
+		return nil, fmt.Errorf("sim: ArrivalTrace is not supported on the sharded engine")
+	}
 	if _, ok := opt.Policy.(policy.ArrivalBalancer); ok {
 		return nil, fmt.Errorf("sim: policy %s is not shardable: per-arrival balancing reads cluster-wide state mid-window", opt.Policy.Name())
 	}

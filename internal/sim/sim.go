@@ -125,6 +125,15 @@ type Options struct {
 	// randomness is consumed only when the wave is active, so plain
 	// Poisson runs stay bit-identical.
 	ArrivalWave Wave
+	// ArrivalTrace, when non-empty, replaces the Poisson arrival process
+	// with an explicit recorded schedule: entry k injects its Batch tasks
+	// (ArrivalBatch, then 1, when unset) at exactly its Time, routed like
+	// any other external arrival. Times must be non-negative and
+	// non-decreasing. Mutually exclusive with ArrivalRate/ArrivalWave;
+	// ArrivalHorizon is ignored (the stream closes after the last entry).
+	// This is the seam the sim-vs-live calibration harness uses: the same
+	// trace replays through the simulator and the real daemon.
+	ArrivalTrace []ArrivalAt
 	// Router, when non-nil, picks the destination node of every external
 	// arrival instead of the uniform default — the dispatcher of the
 	// open-system serving layer. Routers may be stateful: supply a fresh
@@ -191,6 +200,14 @@ type Options struct {
 	// agree bit-for-bit only when their windows agree; leave it 0 outside
 	// tests so the width stays a pure function of Params.
 	ShardWindow float64
+}
+
+// ArrivalAt is one entry of a recorded arrival trace: Batch tasks
+// (defaulted from Options.ArrivalBatch, then 1, when <= 0) arriving at
+// simulated second Time.
+type ArrivalAt struct {
+	Time  float64
+	Batch int
 }
 
 // Wave describes a sinusoidal arrival-rate modulation (diurnal pattern).
@@ -302,6 +319,9 @@ type simState struct {
 	// arrival tick, so Now() can overshoot the true completion.
 	drainTime    float64
 	arrivalsOpen bool
+	// traceIdx is the cursor into Options.ArrivalTrace when a recorded
+	// schedule replaces the Poisson arrival process.
+	traceIdx int
 	// obs and taskq exist only when Options.TaskObserver is set: taskq
 	// mirrors each queue with per-task lifecycle records.
 	obs   TaskObserver
@@ -387,6 +407,24 @@ func validateOptions(opt *Options) (int, error) {
 	}
 	if opt.ArrivalRate > 0 && opt.ArrivalHorizon <= 0 {
 		return 0, fmt.Errorf("sim: ArrivalRate needs a positive ArrivalHorizon")
+	}
+	if len(opt.ArrivalTrace) > 0 {
+		if opt.ArrivalRate > 0 {
+			return 0, fmt.Errorf("sim: ArrivalTrace and ArrivalRate are mutually exclusive")
+		}
+		if opt.ArrivalWave.Period > 0 {
+			return 0, fmt.Errorf("sim: ArrivalTrace and ArrivalWave are mutually exclusive")
+		}
+		prev := 0.0
+		for i, a := range opt.ArrivalTrace {
+			if a.Time < 0 || math.IsNaN(a.Time) || math.IsInf(a.Time, 0) {
+				return 0, fmt.Errorf("sim: ArrivalTrace[%d].Time = %v must be finite and non-negative", i, a.Time)
+			}
+			if a.Time < prev {
+				return 0, fmt.Errorf("sim: ArrivalTrace[%d].Time = %v precedes entry %d at %v", i, a.Time, i-1, prev)
+			}
+			prev = a.Time
+		}
 	}
 	validQueue := false
 	for _, k := range des.QueueKinds() {
@@ -541,7 +579,7 @@ func Start(opt Options) (*Realisation, error) {
 			s.scheduleRecovery(i)
 		}
 	}
-	if opt.ArrivalRate > 0 {
+	if opt.ArrivalRate > 0 || len(opt.ArrivalTrace) > 0 {
 		s.arrivalsOpen = true
 		s.scheduleArrival()
 	}
@@ -583,6 +621,14 @@ func (r *Realisation) ProcessNext() bool { return r.s.sched.ProcessNext() }
 
 // Now returns the realisation's clock.
 func (r *Realisation) Now() float64 { return r.s.sched.Now() }
+
+// CloseArrivals shuts the external arrival stream early: no further
+// arrivals are injected (an already-scheduled arrival tick becomes a
+// no-op) and Done flips as soon as the queued work drains. This is the
+// graceful-interrupt primitive — a driver that must stop (SIGINT, a
+// deadline) closes arrivals and keeps stepping, so the realisation still
+// finishes with conserved accounting instead of being abandoned mid-run.
+func (r *Realisation) CloseArrivals() { r.s.arrivalsOpen = false }
 
 // Done reports the termination predicate Run loops on: the workload has
 // drained with no arrivals still open, or MaxTime was reached. Drivers
@@ -700,6 +746,11 @@ func (s *simState) scanRemaining() int {
 }
 
 func (s *simState) pendingArrivals() bool {
+	if len(s.opt.ArrivalTrace) > 0 {
+		// Trace mode closes the stream itself when the cursor runs off the
+		// end; the horizon is not consulted.
+		return s.arrivalsOpen
+	}
 	return s.arrivalsOpen && s.sched.Now() < s.opt.ArrivalHorizon
 }
 
@@ -1090,6 +1141,14 @@ func drawTransferDelay(rng *xrand.Rand, mode TransferMode, perTask float64, task
 
 //churnlb:hotpath
 func (s *simState) scheduleArrival() {
+	if tr := s.opt.ArrivalTrace; len(tr) > 0 {
+		if s.traceIdx >= len(tr) {
+			s.arrivalsOpen = false
+			return
+		}
+		s.sched.AtIndexed(tr[s.traceIdx].Time, evKindArrival, 0)
+		return
+	}
 	rate := s.opt.ArrivalRate
 	if s.opt.ArrivalWave.Period > 0 {
 		// Generate at the peak rate; externalArrival thins to rate(t).
@@ -1101,16 +1160,35 @@ func (s *simState) scheduleArrival() {
 
 //churnlb:hotpath
 func (s *simState) externalArrival() {
-	if s.sched.Now() >= s.opt.ArrivalHorizon {
-		s.arrivalsOpen = false
+	if !s.arrivalsOpen {
+		// CloseArrivals fired with this tick already scheduled.
 		return
 	}
-	if w := s.opt.ArrivalWave; w.Period > 0 {
-		// Thinning: accept with probability rate(t)/peak.
-		accept := (1 + w.Amplitude*math.Sin(2*math.Pi*s.sched.Now()/w.Period)) / (1 + w.Amplitude)
-		if s.rng.Float64() >= accept {
-			s.scheduleArrival()
+	batch := s.opt.ArrivalBatch
+	if batch <= 0 {
+		batch = 1
+	}
+	if tr := s.opt.ArrivalTrace; len(tr) > 0 {
+		// Recorded schedule: the entry's batch (when set) overrides the
+		// default, the horizon and wave thinning do not apply, and the
+		// cursor advances so scheduleArrival arms the next entry (or closes
+		// the stream).
+		if b := tr[s.traceIdx].Batch; b > 0 {
+			batch = b
+		}
+		s.traceIdx++
+	} else {
+		if s.sched.Now() >= s.opt.ArrivalHorizon {
+			s.arrivalsOpen = false
 			return
+		}
+		if w := s.opt.ArrivalWave; w.Period > 0 {
+			// Thinning: accept with probability rate(t)/peak.
+			accept := (1 + w.Amplitude*math.Sin(2*math.Pi*s.sched.Now()/w.Period)) / (1 + w.Amplitude)
+			if s.rng.Float64() >= accept {
+				s.scheduleArrival()
+				return
+			}
 		}
 	}
 	// Untraced runs hand the router, the decision sink and the arrival
@@ -1143,10 +1221,6 @@ func (s *simState) externalArrival() {
 		}
 	} else {
 		node = s.rng.Intn(s.p.N())
-	}
-	batch := s.opt.ArrivalBatch
-	if batch <= 0 {
-		batch = 1
 	}
 	if s.sink != nil {
 		// Pre-mutation: the sink prices counterfactual candidates against

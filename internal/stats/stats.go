@@ -354,3 +354,49 @@ func KSDistance(a, b []float64) float64 {
 	}
 	return d
 }
+
+// Pearson computes the Pearson correlation coefficient between two
+// equal-length series. Returns NaN when the lengths differ, fewer than
+// two points are given, or either series is constant (zero variance).
+// The calibration harness uses it to score how well the simulator
+// tracks the live daemon's window-by-window shape.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MAPE computes the mean absolute percentage error of got against ref,
+// as a fraction (0.07 = 7%). Reference points too close to zero are
+// skipped — a percentage error against ~0 is unbounded noise, not
+// signal. Returns NaN when no usable points remain or lengths differ.
+func MAPE(ref, got []float64) float64 {
+	if len(ref) != len(got) {
+		return math.NaN()
+	}
+	const eps = 1e-12
+	sum, n := 0.0, 0
+	for i := range ref {
+		if math.Abs(ref[i]) < eps {
+			continue
+		}
+		sum += math.Abs(got[i]-ref[i]) / math.Abs(ref[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

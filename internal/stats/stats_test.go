@@ -276,3 +276,47 @@ func TestMeanHelper(t *testing.T) {
 		t.Fatal("Mean([1 2 3]) != 2")
 	}
 }
+
+func TestPearson(t *testing.T) {
+	if r := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect positive correlation: r = %v", r)
+	}
+	if r := Pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect negative correlation: r = %v", r)
+	}
+	if r := Pearson([]float64{1, 2, 3}, []float64{5, 5, 5}); !math.IsNaN(r) {
+		t.Fatalf("constant series must be NaN, got %v", r)
+	}
+	if r := Pearson([]float64{1, 2}, []float64{1}); !math.IsNaN(r) {
+		t.Fatalf("length mismatch must be NaN, got %v", r)
+	}
+	// Noisy but correlated.
+	rng := xrand.New(7)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) + 10*rng.Float64()
+	}
+	if r := Pearson(xs, ys); r < 0.99 {
+		t.Fatalf("strongly correlated series scored r = %v", r)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	if m := MAPE([]float64{10, 20}, []float64{11, 18}); math.Abs(m-0.1) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 0.1", m)
+	}
+	if m := MAPE([]float64{10, 0, 20}, []float64{11, 99, 18}); math.Abs(m-0.1) > 1e-12 {
+		t.Fatalf("zero reference point not skipped: MAPE = %v", m)
+	}
+	if m := MAPE([]float64{0, 0}, []float64{1, 2}); !math.IsNaN(m) {
+		t.Fatalf("all-zero reference must be NaN, got %v", m)
+	}
+	if m := MAPE([]float64{1}, []float64{1, 2}); !math.IsNaN(m) {
+		t.Fatalf("length mismatch must be NaN, got %v", m)
+	}
+	if m := MAPE([]float64{5, 5}, []float64{5, 5}); m != 0 {
+		t.Fatalf("identical series must be 0, got %v", m)
+	}
+}

@@ -26,8 +26,13 @@ type Task struct {
 	Row []float64
 }
 
+// MinTaskWire is the smallest possible encoded task (empty row): the
+// 8-byte ID, 4-byte precision and 4-byte row length. Frame decoders use
+// it to bound task counts before allocating.
+const MinTaskWire = 8 + 4 + 4
+
 // WireSize returns the encoded size of the task in bytes.
-func (t Task) WireSize() int { return 8 + 4 + 4 + 8*len(t.Row) }
+func (t Task) WireSize() int { return MinTaskWire + 8*len(t.Row) }
 
 // AppendWire serialises the task in the testbed's binary frame format.
 func (t Task) AppendWire(dst []byte) []byte {
